@@ -1,0 +1,233 @@
+// Package awp is the public API of this AWP-ODC reproduction: anelastic
+// wave propagation (AWM) and staggered-grid split-node dynamic rupture
+// (DFR) on a 3D velocity–stress staggered grid, with the petascale
+// ecosystem of the SC'10 paper (mesh generation and partitioning, source
+// generation, parallel output, checkpointing, performance modeling, and
+// ground-motion analysis) available through the sub-packages of
+// repro/internal for advanced use.
+//
+// Quick start:
+//
+//	q := awp.SoCalModel(20e3, 20e3, 10e3, 500)
+//	res, err := awp.Run(q, awp.Scenario{
+//	    Dims: awp.Dims{NX: 40, NY: 40, NZ: 20},
+//	    H:    500, Steps: 300,
+//	    Sources: awp.PointMomentSource(20, 20, 10, 1e17, 0.5, 0.1),
+//	    TrackPGV: true,
+//	})
+package awp
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/core/fd"
+	"repro/internal/core/rupture"
+	"repro/internal/core/solver"
+	"repro/internal/core/source"
+	"repro/internal/cvm"
+	"repro/internal/grid"
+	"repro/internal/mpi"
+)
+
+// Dims is the global grid extent in cells.
+type Dims = grid.Dims
+
+// Material is a (Vp, Vs, rho) property triple.
+type Material = cvm.Material
+
+// Model is a queryable velocity model.
+type Model = cvm.Querier
+
+// Result carries the rank-0 outputs of a run.
+type Result = solver.Result
+
+// Seismogram is one receiver's three-component velocity time series.
+type Seismogram = [][3]float32
+
+// FaultSpec configures dynamic-rupture (DFR) mode.
+type FaultSpec = solver.FaultSpec
+
+// Friction is the slip-weakening friction law parameters.
+type Friction = rupture.Friction
+
+// GMPE is a ground-motion prediction equation (Fig 23 comparisons).
+type GMPE = analysis.GMPE
+
+// Comm models (§IV.A of the paper).
+const (
+	Synchronous  = solver.Synchronous
+	Asynchronous = solver.Asynchronous
+	AsyncReduced = solver.AsyncReduced
+	AsyncOverlap = solver.AsyncOverlap
+)
+
+// Absorbing boundary kinds (§II.D).
+const (
+	NoABC     = solver.NoABC
+	SpongeABC = solver.SpongeABC
+	MPMLABC   = solver.MPMLABC
+)
+
+// Scenario is a simulation configuration with sane defaults: asynchronous
+// reduced communication, M-PML sides/bottom, FS2 free surface on top, and
+// coarse-grained constant-Q attenuation.
+type Scenario struct {
+	Dims  Dims
+	H     float64 // grid spacing, m
+	Dt    float64 // 0: automatic at CFL 0.5
+	Steps int
+
+	// Ranks is the number of MPI ranks (goroutines); 0 or 1 runs single
+	// rank. The 3D topology is chosen automatically.
+	Ranks int
+
+	Comm        solver.CommModel
+	ABC         solver.ABCKind
+	SpongeWidth int // 0: 8 cells (laptop-scale default; production uses 20)
+	FreeSurface bool
+	Attenuation bool
+
+	Sources   []source.SampledSource
+	Fault     *FaultSpec
+	Receivers [][3]int
+	TrackPGV  bool
+}
+
+// Run executes a wave-propagation (AWM) or dynamic-rupture (DFR) scenario.
+func Run(q Model, sc Scenario) (*Result, error) {
+	if sc.SpongeWidth <= 0 {
+		sc.SpongeWidth = 8
+	}
+	opt := solver.Options{
+		Global:      sc.Dims,
+		H:           sc.H,
+		Dt:          sc.Dt,
+		Steps:       sc.Steps,
+		Comm:        sc.Comm,
+		Variant:     fd.Blocked,
+		Blocking:    fd.DefaultBlocking,
+		ABC:         sc.ABC,
+		SpongeWidth: sc.SpongeWidth,
+		FreeSurface: sc.FreeSurface,
+		Attenuation: sc.Attenuation,
+		Sources:     sc.Sources,
+		Fault:       sc.Fault,
+		Receivers:   sc.Receivers,
+		TrackPGV:    sc.TrackPGV,
+	}
+	if sc.Ranks > 1 {
+		if sc.Fault != nil {
+			// DFR mode keeps the fault plane on one rank in y.
+			opt.Topo = faultTopo(sc.Dims, sc.Ranks)
+		} else {
+			opt.Topo = bestTopo(sc.Dims, sc.Ranks)
+		}
+	}
+	return solver.Run(q, opt)
+}
+
+// SoCalModel returns the synthetic southern-California velocity model
+// (CVM4 stand-in) spanning lx x ly x lz meters with the given Vs floor.
+func SoCalModel(lx, ly, lz, minVs float64) Model {
+	return cvm.SoCal(lx, ly, lz, minVs)
+}
+
+// LayeredModel returns the generic hard-rock layered model (CVM-H
+// stand-in).
+func LayeredModel() Model { return cvm.HardRock() }
+
+// HomogeneousModel returns a uniform medium.
+func HomogeneousModel(m Material) Model { return cvm.Homogeneous(m) }
+
+// PointMomentSource builds a single sub-fault strike-slip point source of
+// moment m0 (N*m) at global node (i, j, k) with a Gaussian moment-rate
+// pulse centred at t0 with width sigma, sampled finely enough for any
+// stable dt.
+func PointMomentSource(i, j, k int, m0, t0, sigma float64) []source.SampledSource {
+	dt := sigma / 20
+	nt := int((t0+6*sigma)/dt) + 1
+	ps := source.PointSource{
+		GI: i, GJ: j, GK: k, M0: m0,
+		Tensor: source.StrikeSlipXY,
+		STF:    source.GaussianPulse(t0, sigma),
+	}
+	return []source.SampledSource{ps.Sample(dt, nt)}
+}
+
+// ExplosionSource is PointMomentSource with an isotropic tensor.
+func ExplosionSource(i, j, k int, m0, t0, sigma float64) []source.SampledSource {
+	dt := sigma / 20
+	nt := int((t0+6*sigma)/dt) + 1
+	ps := source.PointSource{
+		GI: i, GJ: j, GK: k, M0: m0,
+		Tensor: source.Explosion,
+		STF:    source.GaussianPulse(t0, sigma),
+	}
+	return []source.SampledSource{ps.Sample(dt, nt)}
+}
+
+// HaskellRupture generates a kinematic finite-fault source (dSrcG).
+type HaskellRupture = source.HaskellSpec
+
+// M8FaultSpec builds a DFR fault specification with the paper's M8 initial
+// stress recipe (§VII.A): depth-dependent normal stress, Von Kármán random
+// shear stress, velocity strengthening near the surface, Dc taper, and a
+// circular nucleation patch.
+func M8FaultSpec(j0, i0, i1, k0, k1 int, h float64, nucI, nucK, nucRadius int, seed int64) *FaultSpec {
+	spec := rupture.M8StressSpec(i1-i0, k1-k0, h)
+	spec.Seed = seed
+	tau, sn, fr := spec.Build()
+	rupture.Nucleate(tau, sn, fr, nucI-i0, nucK-k0, nucRadius, 0.01)
+	return &FaultSpec{
+		J0: j0, I0: i0, I1: i1, K0: k0, K1: k1,
+		Tau0: tau, SigmaN: sn, Friction: fr,
+		RecordEvery: 2,
+	}
+}
+
+// BooreAtkinson2008 and CampbellBozorgnia2008 are the Fig 23 NGA curves.
+func BooreAtkinson2008() GMPE     { return analysis.BooreAtkinson2008{} }
+func CampbellBozorgnia2008() GMPE { return analysis.CampbellBozorgnia2008{} }
+
+// PGVH returns the peak RSS horizontal velocity of a seismogram.
+func PGVH(s Seismogram) float64 { return analysis.PGVHFromSeries(s) }
+
+// GeomMeanPGV returns the NGA-style geometric-mean horizontal peak.
+func GeomMeanPGV(s Seismogram) float64 { return analysis.GeomMeanPGV(s) }
+
+// bestTopo wraps the decomposition heuristic.
+func bestTopo(g Dims, ranks int) mpi.Cart {
+	return topoSearch(g, ranks, false)
+}
+
+// faultTopo constrains PY=1 for DFR mode.
+func faultTopo(g Dims, ranks int) mpi.Cart {
+	return topoSearch(g, ranks, true)
+}
+
+func topoSearch(g Dims, ranks int, py1 bool) mpi.Cart {
+	best := mpi.NewCart(1, 1, 1)
+	bestCost := -1.0
+	for px := 1; px <= ranks; px++ {
+		if ranks%px != 0 {
+			continue
+		}
+		rem := ranks / px
+		for py := 1; py <= rem; py++ {
+			if rem%py != 0 || (py1 && py != 1) {
+				continue
+			}
+			pz := rem / py
+			if px*4 > g.NX || py*4 > g.NY || pz*4 > g.NZ {
+				continue
+			}
+			cost := float64(px-1)*float64(g.NY*g.NZ) +
+				float64(py-1)*float64(g.NX*g.NZ) +
+				float64(pz-1)*float64(g.NX*g.NY)
+			if bestCost < 0 || cost < bestCost {
+				bestCost = cost
+				best = mpi.NewCart(px, py, pz)
+			}
+		}
+	}
+	return best
+}

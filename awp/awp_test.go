@@ -1,0 +1,120 @@
+package awp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuickstartScenario(t *testing.T) {
+	q := HomogeneousModel(Material{Vp: 6000, Vs: 3464, Rho: 2700})
+	res, err := Run(q, Scenario{
+		Dims: Dims{NX: 24, NY: 24, NZ: 16},
+		H:    100, Steps: 60,
+		Comm:        AsyncReduced,
+		ABC:         SpongeABC,
+		FreeSurface: true,
+		Attenuation: true,
+		Sources:     ExplosionSource(12, 12, 8, 1e15, 0.06, 0.015),
+		Receivers:   [][3]int{{6, 12, 4}},
+		TrackPGV:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seismograms) != 1 || len(res.Seismograms[0]) != 60 {
+		t.Fatal("seismogram missing")
+	}
+	if PGVH(res.Seismograms[0]) <= 0 {
+		t.Fatal("no motion recorded")
+	}
+	if GeomMeanPGV(res.Seismograms[0]) > PGVH(res.Seismograms[0]) {
+		t.Fatal("geometric mean exceeds RSS peak")
+	}
+}
+
+func TestMultiRankScenarioMatchesSingle(t *testing.T) {
+	q := SoCalModel(2400, 2400, 1600, 500)
+	mk := func(ranks int) Scenario {
+		return Scenario{
+			Dims: Dims{NX: 24, NY: 24, NZ: 16},
+			H:    100, Steps: 40,
+			Comm:      AsyncReduced,
+			ABC:       SpongeABC,
+			Sources:   PointMomentSource(12, 12, 8, 1e15, 0.06, 0.015),
+			Receivers: [][3]int{{6, 12, 8}},
+			Ranks:     ranks,
+		}
+	}
+	a, err := Run(q, mk(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(q, mk(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := range a.Seismograms[0] {
+		for c := 0; c < 3; c++ {
+			if a.Seismograms[0][n][c] != b.Seismograms[0][n][c] {
+				t.Fatalf("rank-count changed the physics at sample %d", n)
+			}
+		}
+	}
+}
+
+func TestM8FaultSpecRuns(t *testing.T) {
+	q := HomogeneousModel(Material{Vp: 6000, Vs: 3464, Rho: 2700})
+	fault := M8FaultSpec(12, 4, 44, 3, 21, 100, 24, 12, 5, 42)
+	// Strengthen nucleation for the small test fault: reuse spec fields.
+	res, err := Run(q, Scenario{
+		Dims: Dims{NX: 48, NY: 24, NZ: 24},
+		H:    100, Steps: 100,
+		Comm:  AsyncReduced,
+		ABC:   SpongeABC,
+		Fault: fault,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FaultStats.MaxSlip <= 0 {
+		t.Fatal("nucleated fault did not slip")
+	}
+	if len(res.MomentRate) != 100 {
+		t.Fatal("moment rate series missing")
+	}
+}
+
+func TestGMPEAccessors(t *testing.T) {
+	ba, cb := BooreAtkinson2008(), CampbellBozorgnia2008()
+	if ba.MedianPGV(8, 10, 760) <= 0 || cb.MedianPGV(8, 10, 760) <= 0 {
+		t.Fatal("GMPE medians non-positive")
+	}
+	if ba.Name() == cb.Name() {
+		t.Fatal("GMPEs aliased")
+	}
+}
+
+func TestTopoSearchRespectsConstraints(t *testing.T) {
+	topo := faultTopo(Dims{NX: 64, NY: 32, NZ: 32}, 8)
+	if topo.PY != 1 {
+		t.Fatalf("fault topo PY=%d, want 1", topo.PY)
+	}
+	if topo.Size() != 8 {
+		t.Fatalf("topo size %d", topo.Size())
+	}
+	free := bestTopo(Dims{NX: 64, NY: 64, NZ: 64}, 8)
+	if free.Size() != 8 {
+		t.Fatalf("free topo size %d", free.Size())
+	}
+}
+
+func TestPointSourceSampling(t *testing.T) {
+	srcs := PointMomentSource(1, 2, 3, 2e18, 0.5, 0.1)
+	if len(srcs) != 1 {
+		t.Fatal("want one source")
+	}
+	m := srcs[0].Moment()
+	if math.Abs(m-2e18)/2e18 > 0.01 {
+		t.Fatalf("sampled moment %g, want 2e18", m)
+	}
+}

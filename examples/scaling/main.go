@@ -1,0 +1,42 @@
+// Scaling: sweeps the validated performance model over the paper's
+// machines and problem sizes, printing the Fig 14 strong-scaling series
+// and the §V.B sustained-performance headlines.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+	"repro/internal/perfmodel"
+)
+
+func main() {
+	v72, _ := perfmodel.VersionByName("7.2")
+	v50, _ := perfmodel.VersionByName("5.0")
+	v40, _ := perfmodel.VersionByName("4.0")
+
+	fmt.Println("Strong scaling (modeled) — M8 on Jaguar, v7.2:")
+	m8 := grid.Dims{NX: 20250, NY: 10125, NZ: 2125}
+	for _, p := range perfmodel.StrongScaling(perfmodel.Jaguar, v72, m8,
+		[]int{16384, 32768, 65610, 131072, 223074}) {
+		fmt.Printf("  %7d cores: %7.3f s/step, speedup %9.0f, eff %5.3f, %6.1f Tflop/s\n",
+			p.Cores, p.StepTime, p.Speedup, p.Efficiency, p.Tflops)
+	}
+
+	fmt.Println("\nShakeOut on Ranger — synchronous (v4.0) vs asynchronous (v5.0):")
+	so := grid.Dims{NX: 6000, NY: 3000, NZ: 800}
+	cores := []int{4096, 16000, 32000, 60000}
+	sBefore := perfmodel.StrongScaling(perfmodel.Ranger, v40, so, cores)
+	sAfter := perfmodel.StrongScaling(perfmodel.Ranger, v50, so, cores)
+	for i := range cores {
+		fmt.Printf("  %6d cores: sync %7.3f s/step (eff %5.3f)  async %7.3f s/step (eff %5.3f)\n",
+			cores[i], sBefore[i].StepTime, sBefore[i].Efficiency,
+			sAfter[i].StepTime, sAfter[i].Efficiency)
+	}
+
+	fmt.Println("\nSustained performance:")
+	fmt.Printf("  M8 production:         %6.1f Tflop/s (paper: 220)\n",
+		perfmodel.SustainedTflops(perfmodel.M8Job(v72)))
+	fmt.Printf("  Blue Waters benchmark: %6.1f Tflop/s (paper: 260)\n",
+		perfmodel.SustainedTflops(perfmodel.BenchmarkJob()))
+}

@@ -1,0 +1,80 @@
+// ShakeOut: a scaled ShakeOut-K scenario — a kinematic Haskell rupture on
+// a San Andreas analogue in the synthetic southern-California model,
+// rupturing unilaterally toward the NW (the ShakeOut geometry), with
+// basin-site PGVs and the §VI directivity contrast between the forward
+// and backward regions.
+package main
+
+import (
+	"fmt"
+
+	"repro/awp"
+	"repro/internal/analysis"
+	"repro/internal/core/source"
+)
+
+func main() {
+	dims := awp.Dims{NX: 128, NY: 64, NZ: 24}
+	h := 400.0
+	model := awp.SoCalModel(float64(dims.NX)*h, float64(dims.NY)*h, float64(dims.NZ)*h, 500)
+
+	// Kinematic rupture (dSrcG): a 29 km fault at j=32, hypocenter at the
+	// SE end, rupturing NW at a sub-shear 2600 m/s. The geometry is the
+	// ShakeOut shape at reduced scale; the moment is scaled with fault
+	// area (~Mw 6.6) so the stress drop stays physical.
+	spec := source.HaskellSpec{
+		GJ: 32, I0: 28, I1: 100, K0: 2, K1: 12,
+		HypoI: 96, HypoK: 7,
+		H: h, Mw: 6.6, Vr: 2600, RiseTime: 1.0,
+		Mu: 3.3e10, Dt: 0.02, NT: 900, TaperCells: 3,
+	}
+	srcs, err := spec.Generate()
+	if err != nil {
+		panic(err)
+	}
+
+	// Receivers: basin-analogue sites plus a rock reference.
+	recv := [][3]int{
+		{int(0.52 * float64(dims.NX)), int(0.40 * float64(dims.NY)), 0}, // LA
+		{int(0.62 * float64(dims.NX)), int(0.52 * float64(dims.NY)), 0}, // San Bernardino
+		{int(0.40 * float64(dims.NX)), int(0.47 * float64(dims.NY)), 0}, // Ventura
+		{16, 52, 0}, // rock site far from the fault
+	}
+	names := []string{"LA basin", "San Bernardino", "Ventura", "rock ref"}
+
+	// 1400 steps (~18 s): the full 11 s rupture plus wave travel to the
+	// forward region.
+	res, err := awp.Run(model, awp.Scenario{
+		Dims: dims, H: h, Steps: 1400, Ranks: 4,
+		Comm: awp.AsyncReduced, ABC: awp.SpongeABC,
+		FreeSurface: true, Attenuation: true,
+		Sources: srcs, Receivers: recv, TrackPGV: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println("ShakeOut-K scaled scenario (NW-directed kinematic rupture, Mw 6.6 at 1/7 scale)")
+	for r, seis := range res.Seismograms {
+		fmt.Printf("%-16s PGVH %.3f m/s\n", names[r], analysis.PGVHFromSeries(seis))
+	}
+
+	// Directivity (§VI): the forward (NW) region beyond the fault end
+	// shakes several times harder than the backward (SE) region at the
+	// same distance — the TeraShake/ShakeOut signature.
+	mean := func(i0, i1 int) float64 {
+		var s float64
+		n := 0
+		for j := 12; j < dims.NY-12; j++ {
+			for i := i0; i < i1; i++ {
+				s += res.PGVH[j*dims.NX+i]
+				n++
+			}
+		}
+		return s / float64(n)
+	}
+	fwd := mean(8, 24)
+	bwd := mean(104, 120)
+	fmt.Printf("directivity: mean PGVH forward (NW) %.3f vs backward (SE) %.3f m/s (%.1fx)\n",
+		fwd, bwd, fwd/bwd)
+}

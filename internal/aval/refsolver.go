@@ -1,0 +1,182 @@
+package aval
+
+import (
+	"math"
+
+	"repro/internal/core/source"
+	"repro/internal/cvm"
+)
+
+// RefConfig drives the independent reference solver: a deliberately
+// separate implementation (2nd-order staggered-grid velocity–stress,
+// different data layout, no shared kernel code) playing the role of the
+// second and third codes in the Fig. 3 ShakeOut verification.
+type RefConfig struct {
+	NX, NY, NZ int
+	H          float64
+	Dt         float64
+	Steps      int
+	Q          cvm.Querier
+
+	// Point moment source.
+	SI, SJ, SK int
+	M0         float64
+	Tensor     source.MomentTensor
+	STF        source.STF
+
+	Receivers [][3]int
+	// Sponge width for simple absorbing edges.
+	Sponge int
+}
+
+// refGrid is the reference solver's own field container: one padded slab
+// per z level (a different memory layout from the production code).
+type refGrid struct {
+	nx, ny, nz int
+	v          [][]float32 // [k][j*nx+i]
+}
+
+func newRefGrid(nx, ny, nz, pad int) *refGrid {
+	g := &refGrid{nx: nx + 2*pad, ny: ny + 2*pad, nz: nz + 2*pad}
+	g.v = make([][]float32, g.nz)
+	for k := range g.v {
+		g.v[k] = make([]float32, g.nx*g.ny)
+	}
+	return g
+}
+
+func (g *refGrid) at(i, j, k int) float32     { return g.v[k][j*g.nx+i] }
+func (g *refGrid) add(i, j, k int, x float32) { g.v[k][j*g.nx+i] += x }
+func (g *refGrid) set(i, j, k int, x float32) { g.v[k][j*g.nx+i] = x }
+
+// RunReference integrates the 2nd-order scheme and returns the seismogram
+// at each receiver.
+func RunReference(cfg RefConfig) [][][3]float32 {
+	const pad = 1
+	nx, ny, nz := cfg.NX, cfg.NY, cfg.NZ
+	vx := newRefGrid(nx, ny, nz, pad)
+	vy := newRefGrid(nx, ny, nz, pad)
+	vz := newRefGrid(nx, ny, nz, pad)
+	sxx := newRefGrid(nx, ny, nz, pad)
+	syy := newRefGrid(nx, ny, nz, pad)
+	szz := newRefGrid(nx, ny, nz, pad)
+	sxy := newRefGrid(nx, ny, nz, pad)
+	sxz := newRefGrid(nx, ny, nz, pad)
+	syz := newRefGrid(nx, ny, nz, pad)
+
+	// Material arrays at nodes (same staggering conventions as the
+	// production code so receivers and sources are comparable).
+	lam := newRefGrid(nx, ny, nz, pad)
+	mu := newRefGrid(nx, ny, nz, pad)
+	bro := newRefGrid(nx, ny, nz, pad) // 1/rho
+	for k := 0; k < nz+2*pad; k++ {
+		for j := 0; j < ny+2*pad; j++ {
+			for i := 0; i < nx+2*pad; i++ {
+				m := cfg.Q.Query(float64(i-pad)*cfg.H, float64(j-pad)*cfg.H, float64(k-pad)*cfg.H)
+				muv := m.Rho * m.Vs * m.Vs
+				lam.v[k][j*lam.nx+i] = float32(m.Rho*m.Vp*m.Vp - 2*muv)
+				mu.v[k][j*mu.nx+i] = float32(muv)
+				bro.v[k][j*bro.nx+i] = float32(1 / m.Rho)
+			}
+		}
+	}
+
+	dth := float32(cfg.Dt / cfg.H)
+	h3 := cfg.H * cfg.H * cfg.H
+	out := make([][][3]float32, len(cfg.Receivers))
+
+	taper := func(d int) float32 {
+		if cfg.Sponge <= 0 || d >= cfg.Sponge {
+			return 1
+		}
+		x := 0.015 * float64(cfg.Sponge-d)
+		return float32(math.Exp(-x * x))
+	}
+
+	for step := 0; step < cfg.Steps; step++ {
+		// Velocity update (2nd-order differences).
+		for k := pad; k < nz+pad; k++ {
+			for j := pad; j < ny+pad; j++ {
+				for i := pad; i < nx+pad; i++ {
+					b := bro.at(i, j, k)
+					vx.add(i, j, k, dth*b*((sxx.at(i+1, j, k)-sxx.at(i, j, k))+
+						(sxy.at(i, j, k)-sxy.at(i, j-1, k))+
+						(sxz.at(i, j, k)-sxz.at(i, j, k-1))))
+					vy.add(i, j, k, dth*b*((sxy.at(i, j, k)-sxy.at(i-1, j, k))+
+						(syy.at(i, j+1, k)-syy.at(i, j, k))+
+						(syz.at(i, j, k)-syz.at(i, j, k-1))))
+					vz.add(i, j, k, dth*b*((sxz.at(i, j, k)-sxz.at(i-1, j, k))+
+						(syz.at(i, j, k)-syz.at(i, j-1, k))+
+						(szz.at(i, j, k+1)-szz.at(i, j, k))))
+				}
+			}
+		}
+		// Stress update.
+		for k := pad; k < nz+pad; k++ {
+			for j := pad; j < ny+pad; j++ {
+				for i := pad; i < nx+pad; i++ {
+					l := lam.at(i, j, k)
+					m2 := 2 * mu.at(i, j, k)
+					exx := vx.at(i, j, k) - vx.at(i-1, j, k)
+					eyy := vy.at(i, j, k) - vy.at(i, j-1, k)
+					ezz := vz.at(i, j, k) - vz.at(i, j, k-1)
+					tr := l * (exx + eyy + ezz)
+					sxx.add(i, j, k, dth*(tr+m2*exx))
+					syy.add(i, j, k, dth*(tr+m2*eyy))
+					szz.add(i, j, k, dth*(tr+m2*ezz))
+					sxy.add(i, j, k, dth*mu.at(i, j, k)*
+						((vx.at(i, j+1, k)-vx.at(i, j, k))+(vy.at(i+1, j, k)-vy.at(i, j, k))))
+					sxz.add(i, j, k, dth*mu.at(i, j, k)*
+						((vx.at(i, j, k+1)-vx.at(i, j, k))+(vz.at(i+1, j, k)-vz.at(i, j, k))))
+					syz.add(i, j, k, dth*mu.at(i, j, k)*
+						((vy.at(i, j, k+1)-vy.at(i, j, k))+(vz.at(i, j+1, k)-vz.at(i, j, k))))
+				}
+			}
+		}
+		// Moment-rate injection (same convention as the production code).
+		rate := cfg.M0 * cfg.STF(float64(step+1)*cfg.Dt)
+		scale := float32(cfg.Dt * rate / h3)
+		si, sj, sk := cfg.SI+pad, cfg.SJ+pad, cfg.SK+pad
+		sxx.add(si, sj, sk, -scale*float32(cfg.Tensor[0]))
+		syy.add(si, sj, sk, -scale*float32(cfg.Tensor[1]))
+		szz.add(si, sj, sk, -scale*float32(cfg.Tensor[2]))
+		sxy.add(si, sj, sk, -scale*float32(cfg.Tensor[3]))
+		sxz.add(si, sj, sk, -scale*float32(cfg.Tensor[4]))
+		syz.add(si, sj, sk, -scale*float32(cfg.Tensor[5]))
+
+		// Simple sponge damping on all six faces.
+		if cfg.Sponge > 0 {
+			for k := pad; k < nz+pad; k++ {
+				dk := minInt(k-pad, nz-1-(k-pad))
+				for j := pad; j < ny+pad; j++ {
+					dj := minInt(j-pad, ny-1-(j-pad))
+					for i := pad; i < nx+pad; i++ {
+						di := minInt(i-pad, nx-1-(i-pad))
+						g := taper(di) * taper(dj) * taper(dk)
+						if g != 1 {
+							for _, f := range []*refGrid{vx, vy, vz, sxx, syy, szz, sxy, sxz, syz} {
+								f.set(i, j, k, f.at(i, j, k)*g)
+							}
+						}
+					}
+				}
+			}
+		}
+
+		for r, rc := range cfg.Receivers {
+			out[r] = append(out[r], [3]float32{
+				vx.at(rc[0]+pad, rc[1]+pad, rc[2]+pad),
+				vy.at(rc[0]+pad, rc[1]+pad, rc[2]+pad),
+				vz.at(rc[0]+pad, rc[1]+pad, rc[2]+pad),
+			})
+		}
+	}
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,118 @@
+// Package checkpoint implements application-level checkpoint/restart
+// (§III.F): each rank periodically serializes its full solver state — all
+// nine wavefield components including ghost cells, plus the attenuation
+// memory variables — to its own file on the simulated parallel file
+// system, with open throttling to protect the metadata server. Restart
+// reproduces the uninterrupted run bit-for-bit.
+package checkpoint
+
+import (
+	"fmt"
+
+	"repro/internal/core/attenuation"
+	"repro/internal/core/fd"
+	"repro/internal/grid"
+	"repro/internal/mpiio"
+	"repro/internal/pfs"
+)
+
+// FileName is the per-rank checkpoint naming scheme.
+func FileName(dir string, rank, step int) string {
+	return fmt.Sprintf("%s/ckpt.%06d.step%09d", dir, rank, step)
+}
+
+// Save writes one rank's state at the given step. atten may be nil.
+func Save(fsys *pfs.FS, dir string, rank, step int, s *fd.State, atten *attenuation.Model) pfs.PhaseStats {
+	var buf []float32
+	buf = append(buf, float32(step), float32(s.Dims.NX), float32(s.Dims.NY), float32(s.Dims.NZ))
+	hasAtten := float32(0)
+	if atten != nil {
+		hasAtten = 1
+	}
+	buf = append(buf, hasAtten)
+	for _, f := range s.Fields() {
+		buf = append(buf, f.Data()...)
+	}
+	if atten != nil {
+		for _, f := range attenFields(atten) {
+			buf = append(buf, f.Data()...)
+		}
+	}
+	data := mpiio.PutFloat32s(buf)
+	path := FileName(dir, rank, step)
+	fsys.WriteAt(path, 0, data)
+	return fsys.SimulatePhase([]pfs.Op{{Path: path, Bytes: len(data), Write: true, Open: true}})
+}
+
+// Load restores one rank's state saved at step. The destination state and
+// attenuation model must already have the right dims.
+func Load(fsys *pfs.FS, dir string, rank, step int, s *fd.State, atten *attenuation.Model) error {
+	path := FileName(dir, rank, step)
+	sz := fsys.Size(path)
+	if sz < 0 {
+		return fmt.Errorf("checkpoint: %s not found", path)
+	}
+	raw := make([]byte, sz)
+	if err := fsys.ReadAt(path, 0, raw); err != nil {
+		return err
+	}
+	vals := mpiio.GetFloat32s(raw)
+	if len(vals) < 5 {
+		return fmt.Errorf("checkpoint: %s truncated", path)
+	}
+	if int(vals[0]) != step {
+		return fmt.Errorf("checkpoint: %s step %d, want %d", path, int(vals[0]), step)
+	}
+	d := grid.Dims{NX: int(vals[1]), NY: int(vals[2]), NZ: int(vals[3])}
+	if d != s.Dims {
+		return fmt.Errorf("checkpoint: dims %v, state has %v", d, s.Dims)
+	}
+	hasAtten := vals[4] == 1
+	if hasAtten != (atten != nil) {
+		return fmt.Errorf("checkpoint: attenuation presence mismatch")
+	}
+	p := 5
+	for _, f := range s.Fields() {
+		n := len(f.Data())
+		if p+n > len(vals) {
+			return fmt.Errorf("checkpoint: %s truncated in wavefield", path)
+		}
+		copy(f.Data(), vals[p:p+n])
+		p += n
+	}
+	if atten != nil {
+		for _, f := range attenFields(atten) {
+			n := len(f.Data())
+			if p+n > len(vals) {
+				return fmt.Errorf("checkpoint: %s truncated in memory variables", path)
+			}
+			copy(f.Data(), vals[p:p+n])
+			p += n
+		}
+	}
+	return nil
+}
+
+func attenFields(a *attenuation.Model) []*grid.Field3 {
+	return []*grid.Field3{a.ZXX, a.ZYY, a.ZZZ, a.ZXY, a.ZXZ, a.ZYZ}
+}
+
+// ThrottledSave prices a full-job checkpoint phase in which nranks ranks
+// write `bytes` each, with at most maxConcurrent files open at once (the
+// §IV.E open-throttling policy). It returns the total simulated elapsed
+// time; untrottled behaviour is obtained with maxConcurrent >= nranks.
+func ThrottledSave(fsys *pfs.FS, dir string, nranks, bytes, maxConcurrent int) float64 {
+	if maxConcurrent <= 0 {
+		maxConcurrent = nranks
+	}
+	var total float64
+	for w := 0; w < nranks; w += maxConcurrent {
+		hi := min(w+maxConcurrent, nranks)
+		ops := make([]pfs.Op, 0, hi-w)
+		for r := w; r < hi; r++ {
+			ops = append(ops, pfs.Op{Path: FileName(dir, r, 0), Bytes: bytes, Write: true, Open: true})
+		}
+		total += fsys.SimulatePhase(ops).Elapsed
+	}
+	return total
+}

@@ -1,0 +1,150 @@
+package boundary
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core/fd"
+	"repro/internal/grid"
+)
+
+// Sponge implements the Cerjan et al. (1985) sponge-layer ABCs (§II.D):
+// inside a layer of Width cells along each absorbing face, every wavefield
+// component is multiplied per step by a taper
+//
+//	g(d) = exp(-(Alpha * (Width - d))^2)
+//
+// where d is the distance in cells from the physical domain boundary. The
+// sponge is unconditionally stable but absorbs less effectively than PML —
+// the fallback AWP-ODC uses when split-field PMLs go unstable on strong
+// media gradients.
+//
+// The taper is defined in global coordinates and applied to ghost cells as
+// well, so that in a decomposed run every rank damps exactly the same
+// physical cells (including its copies of neighbor cells) and the result
+// is independent of the decomposition and of where in the step the damping
+// runs relative to the halo exchange.
+type Sponge struct {
+	Local  grid.Dims
+	Global grid.Dims
+	Off    [3]int // global index of local (0,0,0)
+	Width  int
+	Alpha  float64
+	Faces  FaceSet // faces of the *global* domain that absorb
+
+	taper []float32 // taper[d] for d in [0, Width)
+}
+
+// DefaultSpongeWidth and DefaultSpongeAlpha are the classic Cerjan tuning.
+const (
+	DefaultSpongeWidth = 20
+	DefaultSpongeAlpha = 0.015
+)
+
+// NewSponge builds a single-rank sponge (local == global).
+func NewSponge(d grid.Dims, width int, alpha float64, faces FaceSet) *Sponge {
+	return NewSpongeGlobal(d, d, [3]int{}, width, alpha, faces)
+}
+
+// NewSpongeGlobal builds a sponge for one rank's subgrid of a decomposed
+// global domain. faces describes the absorbing faces of the global domain;
+// the rank applies whatever part of the taper zone intersects its padded
+// subgrid.
+func NewSpongeGlobal(local, global grid.Dims, off [3]int, width int, alpha float64, faces FaceSet) *Sponge {
+	if width <= 0 {
+		panic(fmt.Sprintf("boundary: invalid sponge width %d", width))
+	}
+	sp := &Sponge{Local: local, Global: global, Off: off, Width: width, Alpha: alpha, Faces: faces}
+	sp.taper = make([]float32, width)
+	for dd := 0; dd < width; dd++ {
+		x := alpha * float64(width-dd)
+		sp.taper[dd] = float32(math.Exp(-x * x))
+	}
+	return sp
+}
+
+// factorAxis returns the taper for global index g along an axis of n
+// global cells with the given absorbing sides, or 1 outside the zones.
+func (sp *Sponge) factorAxis(g, n int, lo, hi bool) float32 {
+	if lo && g < sp.Width {
+		d := g
+		if d < 0 {
+			d = 0
+		}
+		return sp.taper[d]
+	}
+	if hi && g >= n-sp.Width {
+		d := n - 1 - g
+		if d < 0 {
+			d = 0
+		}
+		return sp.taper[d]
+	}
+	return 1
+}
+
+// Apply damps all nine components in the sponge zones, ghost cells
+// included. Call once per time step, after the stress exchange.
+func (sp *Sponge) Apply(s *fd.State) {
+	g := grid.Ghost
+	l := sp.Local
+	// Precompute per-axis factors over the padded local range.
+	fx := make([]float32, l.NX+2*g)
+	fy := make([]float32, l.NY+2*g)
+	fz := make([]float32, l.NZ+2*g)
+	uniform := true
+	for i := range fx {
+		gi := clampIdx(sp.Off[0]+i-g, sp.Global.NX)
+		fx[i] = sp.factorAxis(gi, sp.Global.NX, sp.Faces.XLo, sp.Faces.XHi)
+		if fx[i] != 1 {
+			uniform = false
+		}
+	}
+	for j := range fy {
+		gj := clampIdx(sp.Off[1]+j-g, sp.Global.NY)
+		fy[j] = sp.factorAxis(gj, sp.Global.NY, sp.Faces.YLo, sp.Faces.YHi)
+		if fy[j] != 1 {
+			uniform = false
+		}
+	}
+	for k := range fz {
+		gk := clampIdx(sp.Off[2]+k-g, sp.Global.NZ)
+		fz[k] = sp.factorAxis(gk, sp.Global.NZ, sp.Faces.ZLo, sp.Faces.ZHi)
+		if fz[k] != 1 {
+			uniform = false
+		}
+	}
+	if uniform {
+		return // subgrid nowhere near an absorbing zone
+	}
+	for _, f := range s.Fields() {
+		for k := -g; k < l.NZ+g; k++ {
+			zk := fz[k+g]
+			for j := -g; j < l.NY+g; j++ {
+				fyz := fy[j+g] * zk
+				if fyz == 1 && !sp.Faces.XLo && !sp.Faces.XHi {
+					continue
+				}
+				base := f.Idx(-g, j, k)
+				row := f.Data()[base : base+l.NX+2*g]
+				for i := range row {
+					t := fx[i] * fyz
+					if t != 1 {
+						row[i] *= t
+					}
+				}
+			}
+		}
+	}
+}
+
+// clampIdx clamps a (possibly ghost) global index into [0, n).
+func clampIdx(g, n int) int {
+	if g < 0 {
+		return 0
+	}
+	if g >= n {
+		return n - 1
+	}
+	return g
+}

@@ -1,0 +1,342 @@
+package fd
+
+import (
+	"fmt"
+
+	"repro/internal/medium"
+)
+
+// Variant selects a kernel implementation. All variants compute identical
+// results; they differ only in how material coefficients are obtained and
+// how the loops are scheduled, mirroring the §IV.B optimization steps.
+type Variant int
+
+const (
+	// Naive computes staggered material averages inline with one division
+	// per operand (the pre-2009 code).
+	Naive Variant = iota
+	// Recip uses stored reciprocal Lamé arrays, leaving one division per
+	// harmonic mean (the "reduced division operations" step, +31%).
+	Recip
+	// Precomp uses fully precomputed staggered coefficient arrays — the
+	// production kernel.
+	Precomp
+	// Blocked is Precomp with jblock/kblock cache blocking (+7%).
+	Blocked
+	// Unrolled is Precomp with the inner x loop manually unrolled by 2 (+2%).
+	Unrolled
+)
+
+func (v Variant) String() string {
+	switch v {
+	case Naive:
+		return "naive"
+	case Recip:
+		return "recip"
+	case Precomp:
+		return "precomp"
+	case Blocked:
+		return "blocked"
+	case Unrolled:
+		return "unrolled"
+	}
+	return fmt.Sprintf("Variant(%d)", int(v))
+}
+
+// Blocking carries the cache-blocking factors; the paper's empirically
+// best values for a loop length ~125 were kblock=16, jblock=8.
+type Blocking struct {
+	JBlock, KBlock int
+}
+
+// DefaultBlocking is the paper's tuned 16/8 configuration.
+var DefaultBlocking = Blocking{JBlock: 8, KBlock: 16}
+
+// UpdateVelocity advances the three velocity components over box by one
+// time step of length dt using the selected variant.
+func UpdateVelocity(s *State, m *medium.Medium, dt float64, box Box, v Variant, blk Blocking) {
+	if box.Empty() {
+		return
+	}
+	switch v {
+	case Naive, Recip:
+		velocityDivide(s, m, dt, box, v == Naive)
+	case Precomp:
+		velocityPrecomp(s, m, dt, box)
+	case Blocked:
+		forEachBlock(box, blk, func(b Box) { velocityPrecomp(s, m, dt, b) })
+	case Unrolled:
+		velocityUnrolled(s, m, dt, box)
+	default:
+		panic("fd: unknown variant")
+	}
+}
+
+// UpdateStress advances the six stress components over box by one time
+// step of length dt using the selected variant.
+func UpdateStress(s *State, m *medium.Medium, dt float64, box Box, v Variant, blk Blocking) {
+	if box.Empty() {
+		return
+	}
+	switch v {
+	case Naive, Recip:
+		stressDivide(s, m, dt, box, v == Naive)
+	case Precomp:
+		stressPrecomp(s, m, dt, box)
+	case Blocked:
+		forEachBlock(box, blk, func(b Box) { stressPrecomp(s, m, dt, b) })
+	case Unrolled:
+		stressUnrolled(s, m, dt, box)
+	default:
+		panic("fd: unknown variant")
+	}
+}
+
+// forEachBlock tiles box into jblock x kblock panels (full x extent, as in
+// the paper's Fortran blocking) and applies fn to each tile.
+func forEachBlock(box Box, blk Blocking, fn func(Box)) {
+	jb, kb := blk.JBlock, blk.KBlock
+	if jb <= 0 {
+		jb = DefaultBlocking.JBlock
+	}
+	if kb <= 0 {
+		kb = DefaultBlocking.KBlock
+	}
+	for kk := box.K0; kk < box.K1; kk += kb {
+		k1 := kk + kb
+		if k1 > box.K1 {
+			k1 = box.K1
+		}
+		for jj := box.J0; jj < box.J1; jj += jb {
+			j1 := jj + jb
+			if j1 > box.J1 {
+				j1 = box.J1
+			}
+			fn(Box{box.I0, box.I1, jj, j1, kk, k1})
+		}
+	}
+}
+
+// velocityPrecomp is the production velocity kernel: all material
+// coefficients are precomputed staggered arrays, no divisions.
+func velocityPrecomp(s *State, m *medium.Medium, dt float64, b Box) {
+	dth := float32(dt / m.H)
+	c1, c2 := float32(C1), float32(C2)
+	u, v, w := s.VX.Data(), s.VY.Data(), s.VZ.Data()
+	xx, yy, zz := s.XX.Data(), s.YY.Data(), s.ZZ.Data()
+	xy, xz, yz := s.XY.Data(), s.XZ.Data(), s.YZ.Data()
+	bx, by, bz := m.BX.Data(), m.BY.Data(), m.BZ.Data()
+	dx, dy, dz := s.VX.Strides()
+
+	for k := b.K0; k < b.K1; k++ {
+		for j := b.J0; j < b.J1; j++ {
+			n0 := s.VX.Idx(b.I0, j, k)
+			for n, end := n0, n0+(b.I1-b.I0); n < end; n++ {
+				u[n] += dth * bx[n] * (c1*(xx[n+dx]-xx[n]) + c2*(xx[n+2*dx]-xx[n-dx]) +
+					c1*(xy[n]-xy[n-dy]) + c2*(xy[n+dy]-xy[n-2*dy]) +
+					c1*(xz[n]-xz[n-dz]) + c2*(xz[n+dz]-xz[n-2*dz]))
+				v[n] += dth * by[n] * (c1*(xy[n]-xy[n-dx]) + c2*(xy[n+dx]-xy[n-2*dx]) +
+					c1*(yy[n+dy]-yy[n]) + c2*(yy[n+2*dy]-yy[n-dy]) +
+					c1*(yz[n]-yz[n-dz]) + c2*(yz[n+dz]-yz[n-2*dz]))
+				w[n] += dth * bz[n] * (c1*(xz[n]-xz[n-dx]) + c2*(xz[n+dx]-xz[n-2*dx]) +
+					c1*(yz[n]-yz[n-dy]) + c2*(yz[n+dy]-yz[n-2*dy]) +
+					c1*(zz[n+dz]-zz[n]) + c2*(zz[n+2*dz]-zz[n-dz]))
+			}
+		}
+	}
+}
+
+// stressPrecomp is the production stress kernel.
+func stressPrecomp(s *State, m *medium.Medium, dt float64, b Box) {
+	dth := float32(dt / m.H)
+	c1, c2 := float32(C1), float32(C2)
+	u, v, w := s.VX.Data(), s.VY.Data(), s.VZ.Data()
+	xx, yy, zz := s.XX.Data(), s.YY.Data(), s.ZZ.Data()
+	xy, xz, yz := s.XY.Data(), s.XZ.Data(), s.YZ.Data()
+	lam, l2m := m.Lam.Data(), m.Lam2Mu.Data()
+	mxy, mxz, myz := m.MuXY.Data(), m.MuXZ.Data(), m.MuYZ.Data()
+	dx, dy, dz := s.VX.Strides()
+
+	for k := b.K0; k < b.K1; k++ {
+		for j := b.J0; j < b.J1; j++ {
+			n0 := s.VX.Idx(b.I0, j, k)
+			for n, end := n0, n0+(b.I1-b.I0); n < end; n++ {
+				exx := c1*(u[n]-u[n-dx]) + c2*(u[n+dx]-u[n-2*dx])
+				eyy := c1*(v[n]-v[n-dy]) + c2*(v[n+dy]-v[n-2*dy])
+				ezz := c1*(w[n]-w[n-dz]) + c2*(w[n+dz]-w[n-2*dz])
+				xx[n] += dth * (l2m[n]*exx + lam[n]*(eyy+ezz))
+				yy[n] += dth * (l2m[n]*eyy + lam[n]*(exx+ezz))
+				zz[n] += dth * (l2m[n]*ezz + lam[n]*(exx+eyy))
+				xy[n] += dth * mxy[n] * (c1*(u[n+dy]-u[n]) + c2*(u[n+2*dy]-u[n-dy]) +
+					c1*(v[n+dx]-v[n]) + c2*(v[n+2*dx]-v[n-dx]))
+				xz[n] += dth * mxz[n] * (c1*(u[n+dz]-u[n]) + c2*(u[n+2*dz]-u[n-dz]) +
+					c1*(w[n+dx]-w[n]) + c2*(w[n+2*dx]-w[n-dx]))
+				yz[n] += dth * myz[n] * (c1*(v[n+dz]-v[n]) + c2*(v[n+2*dz]-v[n-dz]) +
+					c1*(w[n+dy]-w[n]) + c2*(w[n+2*dy]-w[n-dy]))
+			}
+		}
+	}
+}
+
+// velocityDivide implements the Naive/Recip variants: the per-point
+// reciprocal densities are formed in the loop. In the naive form each
+// operand costs a division; in the recip form the stored reciprocal
+// density arrays are read but re-averaged in the loop (one division).
+func velocityDivide(s *State, m *medium.Medium, dt float64, b Box, naive bool) {
+	dth := float32(dt / m.H)
+	c1, c2 := float32(C1), float32(C2)
+	u, v, w := s.VX.Data(), s.VY.Data(), s.VZ.Data()
+	xx, yy, zz := s.XX.Data(), s.YY.Data(), s.ZZ.Data()
+	xy, xz, yz := s.XY.Data(), s.XZ.Data(), s.YZ.Data()
+	rho := m.Rho.Data()
+	dx, dy, dz := s.VX.Strides()
+
+	for k := b.K0; k < b.K1; k++ {
+		for j := b.J0; j < b.J1; j++ {
+			n0 := s.VX.Idx(b.I0, j, k)
+			for n, end := n0, n0+(b.I1-b.I0); n < end; n++ {
+				var bxv, byv, bzv float32
+				if naive {
+					// One division per operand pair, as the original code.
+					bxv = 1 / ((rho[n] + rho[n+dx]) / 2)
+					byv = 1 / ((rho[n] + rho[n+dy]) / 2)
+					bzv = 1 / ((rho[n] + rho[n+dz]) / 2)
+				} else {
+					bxv = 2 / (rho[n] + rho[n+dx])
+					byv = 2 / (rho[n] + rho[n+dy])
+					bzv = 2 / (rho[n] + rho[n+dz])
+				}
+				u[n] += dth * bxv * (c1*(xx[n+dx]-xx[n]) + c2*(xx[n+2*dx]-xx[n-dx]) +
+					c1*(xy[n]-xy[n-dy]) + c2*(xy[n+dy]-xy[n-2*dy]) +
+					c1*(xz[n]-xz[n-dz]) + c2*(xz[n+dz]-xz[n-2*dz]))
+				v[n] += dth * byv * (c1*(xy[n]-xy[n-dx]) + c2*(xy[n+dx]-xy[n-2*dx]) +
+					c1*(yy[n+dy]-yy[n]) + c2*(yy[n+2*dy]-yy[n-dy]) +
+					c1*(yz[n]-yz[n-dz]) + c2*(yz[n+dz]-yz[n-2*dz]))
+				w[n] += dth * bzv * (c1*(xz[n]-xz[n-dx]) + c2*(xz[n+dx]-xz[n-2*dx]) +
+					c1*(yz[n]-yz[n-dy]) + c2*(yz[n+dy]-yz[n-2*dy]) +
+					c1*(zz[n+dz]-zz[n]) + c2*(zz[n+2*dz]-zz[n-dz]))
+			}
+		}
+	}
+}
+
+// stressDivide implements the Naive/Recip variants of the stress kernel:
+// harmonic means of mu are formed in the loop, with four divisions per
+// shear point in the naive form and one in the recip form (the stored
+// reciprocal arrays make the harmonic mean a sum, cf. §IV.B).
+func stressDivide(s *State, m *medium.Medium, dt float64, b Box, naive bool) {
+	dth := float32(dt / m.H)
+	c1, c2 := float32(C1), float32(C2)
+	u, v, w := s.VX.Data(), s.VY.Data(), s.VZ.Data()
+	xx, yy, zz := s.XX.Data(), s.YY.Data(), s.ZZ.Data()
+	xy, xz, yz := s.XY.Data(), s.XZ.Data(), s.YZ.Data()
+	lam, mu, mui := m.Lam.Data(), m.Mu.Data(), m.MuI.Data()
+	dx, dy, dz := s.VX.Strides()
+
+	hmean := func(n, da, db int) float32 {
+		if naive {
+			return 4 / (1/mu[n] + 1/mu[n+da] + 1/mu[n+db] + 1/mu[n+da+db])
+		}
+		return 4 / (mui[n] + mui[n+da] + mui[n+db] + mui[n+da+db])
+	}
+
+	for k := b.K0; k < b.K1; k++ {
+		for j := b.J0; j < b.J1; j++ {
+			n0 := s.VX.Idx(b.I0, j, k)
+			for n, end := n0, n0+(b.I1-b.I0); n < end; n++ {
+				exx := c1*(u[n]-u[n-dx]) + c2*(u[n+dx]-u[n-2*dx])
+				eyy := c1*(v[n]-v[n-dy]) + c2*(v[n+dy]-v[n-2*dy])
+				ezz := c1*(w[n]-w[n-dz]) + c2*(w[n+dz]-w[n-2*dz])
+				l2m := lam[n] + 2*mu[n]
+				xx[n] += dth * (l2m*exx + lam[n]*(eyy+ezz))
+				yy[n] += dth * (l2m*eyy + lam[n]*(exx+ezz))
+				zz[n] += dth * (l2m*ezz + lam[n]*(exx+eyy))
+				xy[n] += dth * hmean(n, dx, dy) * (c1*(u[n+dy]-u[n]) + c2*(u[n+2*dy]-u[n-dy]) +
+					c1*(v[n+dx]-v[n]) + c2*(v[n+2*dx]-v[n-dx]))
+				xz[n] += dth * hmean(n, dx, dz) * (c1*(u[n+dz]-u[n]) + c2*(u[n+2*dz]-u[n-dz]) +
+					c1*(w[n+dx]-w[n]) + c2*(w[n+2*dx]-w[n-dx]))
+				yz[n] += dth * hmean(n, dy, dz) * (c1*(v[n+dz]-v[n]) + c2*(v[n+2*dz]-v[n-dz]) +
+					c1*(w[n+dy]-w[n]) + c2*(w[n+2*dy]-w[n-dy]))
+			}
+		}
+	}
+}
+
+// velocityUnrolled is velocityPrecomp with the inner loop unrolled by 2
+// (the paper found x2 optimal for the velocity-class subroutines).
+func velocityUnrolled(s *State, m *medium.Medium, dt float64, b Box) {
+	dth := float32(dt / m.H)
+	c1, c2 := float32(C1), float32(C2)
+	u, v, w := s.VX.Data(), s.VY.Data(), s.VZ.Data()
+	xx, yy, zz := s.XX.Data(), s.YY.Data(), s.ZZ.Data()
+	xy, xz, yz := s.XY.Data(), s.XZ.Data(), s.YZ.Data()
+	bx, by, bz := m.BX.Data(), m.BY.Data(), m.BZ.Data()
+	dx, dy, dz := s.VX.Strides()
+
+	body := func(n int) {
+		u[n] += dth * bx[n] * (c1*(xx[n+dx]-xx[n]) + c2*(xx[n+2*dx]-xx[n-dx]) +
+			c1*(xy[n]-xy[n-dy]) + c2*(xy[n+dy]-xy[n-2*dy]) +
+			c1*(xz[n]-xz[n-dz]) + c2*(xz[n+dz]-xz[n-2*dz]))
+		v[n] += dth * by[n] * (c1*(xy[n]-xy[n-dx]) + c2*(xy[n+dx]-xy[n-2*dx]) +
+			c1*(yy[n+dy]-yy[n]) + c2*(yy[n+2*dy]-yy[n-dy]) +
+			c1*(yz[n]-yz[n-dz]) + c2*(yz[n+dz]-yz[n-2*dz]))
+		w[n] += dth * bz[n] * (c1*(xz[n]-xz[n-dx]) + c2*(xz[n+dx]-xz[n-2*dx]) +
+			c1*(yz[n]-yz[n-dy]) + c2*(yz[n+dy]-yz[n-2*dy]) +
+			c1*(zz[n+dz]-zz[n]) + c2*(zz[n+2*dz]-zz[n-dz]))
+	}
+	for k := b.K0; k < b.K1; k++ {
+		for j := b.J0; j < b.J1; j++ {
+			n0 := s.VX.Idx(b.I0, j, k)
+			end := n0 + (b.I1 - b.I0)
+			n := n0
+			for ; n+1 < end; n += 2 {
+				body(n)
+				body(n + 1)
+			}
+			for ; n < end; n++ {
+				body(n)
+			}
+		}
+	}
+}
+
+// stressUnrolled is stressPrecomp with the inner loop unrolled by 2.
+func stressUnrolled(s *State, m *medium.Medium, dt float64, b Box) {
+	dth := float32(dt / m.H)
+	c1, c2 := float32(C1), float32(C2)
+	u, v, w := s.VX.Data(), s.VY.Data(), s.VZ.Data()
+	xx, yy, zz := s.XX.Data(), s.YY.Data(), s.ZZ.Data()
+	xy, xz, yz := s.XY.Data(), s.XZ.Data(), s.YZ.Data()
+	lam, l2m := m.Lam.Data(), m.Lam2Mu.Data()
+	mxy, mxz, myz := m.MuXY.Data(), m.MuXZ.Data(), m.MuYZ.Data()
+	dx, dy, dz := s.VX.Strides()
+
+	body := func(n int) {
+		exx := c1*(u[n]-u[n-dx]) + c2*(u[n+dx]-u[n-2*dx])
+		eyy := c1*(v[n]-v[n-dy]) + c2*(v[n+dy]-v[n-2*dy])
+		ezz := c1*(w[n]-w[n-dz]) + c2*(w[n+dz]-w[n-2*dz])
+		xx[n] += dth * (l2m[n]*exx + lam[n]*(eyy+ezz))
+		yy[n] += dth * (l2m[n]*eyy + lam[n]*(exx+ezz))
+		zz[n] += dth * (l2m[n]*ezz + lam[n]*(exx+eyy))
+		xy[n] += dth * mxy[n] * (c1*(u[n+dy]-u[n]) + c2*(u[n+2*dy]-u[n-dy]) +
+			c1*(v[n+dx]-v[n]) + c2*(v[n+2*dx]-v[n-dx]))
+		xz[n] += dth * mxz[n] * (c1*(u[n+dz]-u[n]) + c2*(u[n+2*dz]-u[n-dz]) +
+			c1*(w[n+dx]-w[n]) + c2*(w[n+2*dx]-w[n-dx]))
+		yz[n] += dth * myz[n] * (c1*(v[n+dz]-v[n]) + c2*(v[n+2*dz]-v[n-dz]) +
+			c1*(w[n+dy]-w[n]) + c2*(w[n+2*dy]-w[n-dy]))
+	}
+	for k := b.K0; k < b.K1; k++ {
+		for j := b.J0; j < b.J1; j++ {
+			n0 := s.VX.Idx(b.I0, j, k)
+			end := n0 + (b.I1 - b.I0)
+			n := n0
+			for ; n+1 < end; n += 2 {
+				body(n)
+				body(n + 1)
+			}
+			for ; n < end; n++ {
+				body(n)
+			}
+		}
+	}
+}

@@ -1,0 +1,334 @@
+package fd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cvm"
+	"repro/internal/decomp"
+	"repro/internal/grid"
+	"repro/internal/medium"
+	"repro/internal/mpi"
+)
+
+func makeMedium(t testing.TB, q cvm.Querier, d grid.Dims, h float64) *medium.Medium {
+	t.Helper()
+	dc, err := decomp.New(d, mpi.NewCart(1, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return medium.FromCVM(q, dc, dc.SubFor(0), h)
+}
+
+func heteroQuerier() cvm.Querier {
+	return cvm.HardRock()
+}
+
+func randomState(d grid.Dims, seed int64) *State {
+	s := NewState(d)
+	rng := rand.New(rand.NewSource(seed))
+	for _, f := range s.Fields() {
+		data := f.Data()
+		for i := range data {
+			data[i] = rng.Float32()*2 - 1
+		}
+	}
+	return s
+}
+
+// All kernel variants must produce the same update to within float32
+// round-off (§IV.B: the optimizations are arithmetic restructurings).
+func TestVariantsAgree(t *testing.T) {
+	d := grid.Dims{NX: 12, NY: 10, NZ: 14}
+	m := makeMedium(t, heteroQuerier(), d, 200)
+	dt := m.StableDt(0.5)
+	box := FullBox(d)
+	ref := randomState(d, 42)
+	UpdateVelocity(ref, m, dt, box, Precomp, Blocking{})
+	UpdateStress(ref, m, dt, box, Precomp, Blocking{})
+
+	for _, v := range []Variant{Naive, Recip, Blocked, Unrolled} {
+		s := randomState(d, 42)
+		UpdateVelocity(s, m, dt, box, v, DefaultBlocking)
+		UpdateStress(s, m, dt, box, v, DefaultBlocking)
+		diff := s.L2Diff(ref)
+		norm := math.Sqrt(ref.VX.SumSq() + 1)
+		if diff/norm > 2e-6 {
+			t.Errorf("variant %v differs from precomp: rel %g", v, diff/norm)
+		}
+	}
+}
+
+func TestBlockedCoversBoxExactly(t *testing.T) {
+	// Tile accounting: blocks must partition the box regardless of
+	// divisibility.
+	box := Box{0, 7, 0, 13, 0, 19}
+	total := 0
+	forEachBlock(box, Blocking{JBlock: 4, KBlock: 5}, func(b Box) {
+		total += b.Cells()
+	})
+	if total != box.Cells() {
+		t.Fatalf("blocks cover %d cells, want %d", total, box.Cells())
+	}
+}
+
+func TestEmptyBoxIsNoop(t *testing.T) {
+	d := grid.Dims{NX: 8, NY: 8, NZ: 8}
+	m := makeMedium(t, heteroQuerier(), d, 200)
+	s := randomState(d, 1)
+	before := s.Clone()
+	UpdateVelocity(s, m, 0.001, Box{3, 3, 0, 8, 0, 8}, Precomp, Blocking{})
+	UpdateStress(s, m, 0.001, Box{0, 8, 5, 2, 0, 8}, Precomp, Blocking{})
+	if s.L2Diff(before) != 0 {
+		t.Fatal("empty box modified state")
+	}
+}
+
+func TestRegionUpdateOnlyTouchesRegion(t *testing.T) {
+	d := grid.Dims{NX: 12, NY: 12, NZ: 12}
+	m := makeMedium(t, heteroQuerier(), d, 200)
+	s := randomState(d, 7)
+	before := s.Clone()
+	inner := Box{4, 8, 4, 8, 4, 8}
+	UpdateVelocity(s, m, 1.0, inner, Precomp, Blocking{})
+	// Cells outside the box must be untouched.
+	for _, probe := range [][3]int{{0, 0, 0}, {3, 4, 4}, {8, 4, 4}, {11, 11, 11}} {
+		i, j, k := probe[0], probe[1], probe[2]
+		if s.VX.At(i, j, k) != before.VX.At(i, j, k) {
+			t.Fatalf("vx modified outside region at %v", probe)
+		}
+	}
+	// And at least one inside cell must change.
+	if s.VX.At(5, 5, 5) == before.VX.At(5, 5, 5) {
+		t.Fatal("vx not updated inside region")
+	}
+}
+
+// TestSpatialOrder verifies the 4th-order accuracy of the stress update's
+// spatial derivative: starting from zero stress and an analytic velocity
+// field, one step gives sxx = dt*(lam+2mu)*dvx/dx + dt*lam*(dvy/dy+dvz/dz);
+// with vx = sin(w*x), the error against the analytic derivative must fall
+// ~16x when h halves.
+func TestSpatialOrder(t *testing.T) {
+	mat := cvm.Material{Vp: 6000, Vs: 3464, Rho: 2700}
+	q := cvm.Homogeneous(mat)
+	L := 1000.0 // wavelength, m
+	w := 2 * math.Pi / L
+	dt := 1e-6 // tiny: isolates the spatial operator
+
+	errAt := func(nx int) float64 {
+		h := L / float64(nx)
+		d := grid.Dims{NX: nx, NY: 6, NZ: 6}
+		m := makeMedium(t, q, d, h)
+		s := NewState(d)
+		// vx lives at (i+1/2): fill the whole padded array analytically.
+		g := grid.Ghost
+		for k := -g; k < d.NZ+g; k++ {
+			for j := -g; j < d.NY+g; j++ {
+				for i := -g; i < d.NX+g; i++ {
+					x := (float64(i) + 0.5) * h
+					s.VX.Set(i, j, k, float32(math.Sin(w*x)))
+				}
+			}
+		}
+		UpdateStress(s, m, dt, FullBox(d), Precomp, Blocking{})
+		l2m := mat.Rho * mat.Vp * mat.Vp
+		var maxErr float64
+		for i := 2; i < nx-2; i++ {
+			x := float64(i) * h
+			want := dt * l2m * w * math.Cos(w*x)
+			got := float64(s.XX.At(i, 3, 3))
+			if e := math.Abs(got - want); e > maxErr {
+				maxErr = e
+			}
+		}
+		return maxErr
+	}
+
+	e1 := errAt(16)
+	e2 := errAt(32)
+	ratio := e1 / e2
+	if ratio < 12 {
+		t.Fatalf("spatial convergence ratio %g, want ~16 (4th order); e1=%g e2=%g", ratio, e1, e2)
+	}
+}
+
+// exchangePeriodic refreshes all ghost cells of every component with
+// periodic wrap-around, giving the clean von Neumann setting the interior
+// scheme is analyzed in (production boundaries are handled by the boundary
+// package and halo exchange).
+func exchangePeriodic(s *State) {
+	for _, f := range s.Fields() {
+		for _, ax := range []grid.Axis{grid.X, grid.Y, grid.Z} {
+			buf := make([]float32, f.FaceLen(ax, grid.Ghost))
+			f.PackFace(ax, grid.High, grid.Ghost, buf)
+			f.UnpackFace(ax, grid.Low, grid.Ghost, buf)
+			f.PackFace(ax, grid.Low, grid.Ghost, buf)
+			f.UnpackFace(ax, grid.High, grid.Ghost, buf)
+		}
+	}
+}
+
+// TestPlaneWavePropagation checks the full leapfrog scheme against the
+// analytic d'Alembert solution for an S plane wave: vy = f(x - vs*t),
+// sxy = -rho*vs*f, staggered by h/2 in space and dt/2 in time. Ghosts are
+// refreshed periodically so the comparison is free of boundary effects.
+func TestPlaneWavePropagation(t *testing.T) {
+	mat := cvm.Material{Vp: 6000, Vs: 3000, Rho: 2500}
+	q := cvm.Homogeneous(mat)
+	nx := 120
+	h := 50.0
+	d := grid.Dims{NX: nx, NY: 6, NZ: 6}
+	m := makeMedium(t, q, d, h)
+	dt := m.StableDt(0.4)
+	vs := mat.Vs
+	sigma := 300.0 // gaussian width, m
+	x0 := float64(nx) * h / 2
+	f := func(x float64) float64 {
+		dx := x - x0
+		return math.Exp(-dx * dx / (2 * sigma * sigma))
+	}
+
+	s := NewState(d)
+	g := grid.Ghost
+	for k := -g; k < d.NZ+g; k++ {
+		for j := -g; j < d.NY+g; j++ {
+			for i := -g; i < d.NX+g; i++ {
+				xv := float64(i) * h // vy at (i, j+1/2, k): x-position i*h
+				s.VY.Set(i, j, k, float32(f(xv)))
+				// sxy at (i+1/2, j+1/2, k), advanced to t = +dt/2.
+				xs := (float64(i) + 0.5) * h
+				s.XY.Set(i, j, k, float32(-mat.Rho*vs*f(xs-vs*dt/2)))
+			}
+		}
+	}
+
+	nsteps := 40
+	box := FullBox(d)
+	for n := 0; n < nsteps; n++ {
+		exchangePeriodic(s)
+		UpdateVelocity(s, m, dt, box, Precomp, Blocking{})
+		exchangePeriodic(s)
+		UpdateStress(s, m, dt, box, Precomp, Blocking{})
+	}
+	tFinal := float64(nsteps) * dt
+
+	// Periodicized analytic solution (wrap tails are negligible but the
+	// wave may cross the domain edge for larger nsteps).
+	L := float64(nx) * h
+	fp := func(x float64) float64 { return f(x) + f(x-L) + f(x+L) }
+	var maxErr, maxAmp float64
+	for i := 0; i < nx; i++ {
+		x := float64(i) * h
+		want := fp(x - vs*tFinal)
+		got := float64(s.VY.At(i, 3, 3))
+		if a := math.Abs(want); a > maxAmp {
+			maxAmp = a
+		}
+		if e := math.Abs(got - want); e > maxErr {
+			maxErr = e
+		}
+	}
+	if maxAmp < 0.5 {
+		t.Fatalf("test misconfigured: wave left the comparison window (maxAmp=%g)", maxAmp)
+	}
+	if maxErr/maxAmp > 0.02 {
+		t.Fatalf("plane wave error %g (rel %g), want < 2%%", maxErr, maxErr/maxAmp)
+	}
+}
+
+// TestStability runs a few hundred steps at a CFL within the limit and
+// checks the field stays bounded (no exponential blow-up), then confirms
+// the limit is real by checking growth above it.
+func TestStability(t *testing.T) {
+	d := grid.Dims{NX: 16, NY: 16, NZ: 16}
+	mat := cvm.Material{Vp: 6000, Vs: 3464, Rho: 2700}
+	m := makeMedium(t, cvm.Homogeneous(mat), d, 100)
+
+	run := func(dt float64, steps int) float64 {
+		s := NewState(d)
+		// Smooth localized initial velocity pulse.
+		for k := 4; k < 12; k++ {
+			for j := 4; j < 12; j++ {
+				for i := 4; i < 12; i++ {
+					r2 := float64((i-8)*(i-8) + (j-8)*(j-8) + (k-8)*(k-8))
+					s.VX.Set(i, j, k, float32(math.Exp(-r2/8)))
+				}
+			}
+		}
+		box := FullBox(d)
+		for n := 0; n < steps; n++ {
+			exchangePeriodic(s)
+			UpdateVelocity(s, m, dt, box, Precomp, Blocking{})
+			exchangePeriodic(s)
+			UpdateStress(s, m, dt, box, Precomp, Blocking{})
+		}
+		// Judge stability on the velocity energy: initial |v| <= 1, so a
+		// stable run stays O(1) while an unstable one grows exponentially
+		// (SumSq propagates NaN/Inf, unlike a max of failed comparisons).
+		return s.VX.SumSq() + s.VY.SumSq() + s.VZ.SumSq()
+	}
+
+	cells := float64(d.Cells())
+	stable := run(m.StableDt(0.9), 300)
+	if math.IsNaN(stable) || stable > 100*cells {
+		t.Fatalf("stable run blew up: velocity energy=%g", stable)
+	}
+	unstable := run(m.StableDt(1.6), 300)
+	if !(math.IsNaN(unstable) || math.IsInf(unstable, 0) || unstable > 1e10*cells) {
+		t.Fatalf("super-CFL run did not blow up: velocity energy=%g (CFL bound suspect)", unstable)
+	}
+}
+
+func TestBoxHelpers(t *testing.T) {
+	b := Box{0, 4, 0, 5, 0, 6}
+	if b.Cells() != 120 {
+		t.Errorf("Cells = %d", b.Cells())
+	}
+	if b.Empty() {
+		t.Error("non-empty box reported empty")
+	}
+	e := Box{2, 2, 0, 5, 0, 6}
+	if !e.Empty() || e.Cells() != 0 {
+		t.Error("empty box misreported")
+	}
+	s := b.Shrink(1, true, true, false, false, true, false)
+	if s.I0 != 1 || s.I1 != 3 || s.J0 != 0 || s.K0 != 1 || s.K1 != 6 {
+		t.Errorf("Shrink = %+v", s)
+	}
+	if FullBox(grid.Dims{NX: 2, NY: 3, NZ: 4}).Cells() != 24 {
+		t.Error("FullBox wrong")
+	}
+	if b.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestVariantStrings(t *testing.T) {
+	names := map[Variant]string{Naive: "naive", Recip: "recip", Precomp: "precomp", Blocked: "blocked", Unrolled: "unrolled"}
+	for v, want := range names {
+		if v.String() != want {
+			t.Errorf("String(%d) = %q", int(v), v.String())
+		}
+	}
+	if Variant(99).String() == "" {
+		t.Error("unknown variant string empty")
+	}
+}
+
+func TestStateCloneAndFields(t *testing.T) {
+	s := NewState(grid.Dims{NX: 4, NY: 4, NZ: 4})
+	if len(s.Fields()) != 9 || len(FieldNames) != 9 {
+		t.Fatal("field count wrong")
+	}
+	if len(s.Velocities()) != 3 || len(s.Stresses()) != 6 {
+		t.Fatal("component split wrong")
+	}
+	s.XX.Set(1, 1, 1, 5)
+	c := s.Clone()
+	c.XX.Set(1, 1, 1, 7)
+	if s.XX.At(1, 1, 1) != 5 {
+		t.Fatal("clone aliases original")
+	}
+}

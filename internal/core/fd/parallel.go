@@ -1,0 +1,60 @@
+package fd
+
+import (
+	"sync"
+
+	"repro/internal/medium"
+)
+
+// Hybrid MPI/OpenMP mode (§IV.D): within one rank, the kernel loops are
+// split over worker goroutines sharing the rank's memory — the analogue of
+// OpenMP threads spawned from a single MPI process. Cells are independent
+// within one kernel application, so the decomposition is over k-slabs and
+// the result is bit-identical to the serial kernel.
+
+// UpdateVelocityParallel is UpdateVelocity with nthreads worker
+// goroutines; nthreads <= 1 falls through to the serial kernel.
+func UpdateVelocityParallel(s *State, m *medium.Medium, dt float64, box Box, v Variant, blk Blocking, nthreads int) {
+	ForEachKSlab(box, nthreads, func(sub Box) {
+		UpdateVelocity(s, m, dt, sub, v, blk)
+	})
+}
+
+// UpdateStressParallel is UpdateStress with nthreads worker goroutines.
+func UpdateStressParallel(s *State, m *medium.Medium, dt float64, box Box, v Variant, blk Blocking, nthreads int) {
+	ForEachKSlab(box, nthreads, func(sub Box) {
+		UpdateStress(s, m, dt, sub, v, blk)
+	})
+}
+
+// ForEachKSlab splits box into contiguous k-slabs and runs fn
+// concurrently on nthreads workers (nthreads <= 1: inline).
+func ForEachKSlab(box Box, nthreads int, fn func(Box)) {
+	if box.Empty() {
+		return
+	}
+	nk := box.K1 - box.K0
+	if nthreads <= 1 || nk < 2 {
+		fn(box)
+		return
+	}
+	if nthreads > nk {
+		nthreads = nk
+	}
+	var wg sync.WaitGroup
+	for t := 0; t < nthreads; t++ {
+		k0 := box.K0 + t*nk/nthreads
+		k1 := box.K0 + (t+1)*nk/nthreads
+		if k0 == k1 {
+			continue
+		}
+		sub := box
+		sub.K0, sub.K1 = k0, k1
+		wg.Add(1)
+		go func(b Box) {
+			defer wg.Done()
+			fn(b)
+		}(sub)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,154 @@
+// Package fd implements the explicit staggered-grid finite-difference
+// kernels of AWP-ODC (§II.B): 4th-order in space, 2nd-order in time,
+// velocity–stress formulation. Several kernel variants mirror the paper's
+// single-CPU optimization study (§IV.B): a naive variant with per-operand
+// divisions, a reciprocal-array variant, the production precomputed
+// variant, and cache-blocked / unrolled forms of the latter.
+//
+// Staggering convention (Graves 1996, the scheme AWP-ODC uses): with
+// storage index (i,j,k),
+//
+//	vx at (i+1/2, j, k)    sxx,syy,szz at (i, j, k)
+//	vy at (i, j+1/2, k)    sxy at (i+1/2, j+1/2, k)
+//	vz at (i, j, k+1/2)    sxz at (i+1/2, j, k+1/2)
+//	                       syz at (i, j+1/2, k+1/2)
+package fd
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/grid"
+)
+
+// FD coefficients of the 4th-order staggered first-derivative (Eq. 3).
+const (
+	C1 = 9.0 / 8.0
+	C2 = -1.0 / 24.0
+)
+
+// Flop counts per cell per step for the two kernels, used by the analytic
+// performance model (factor C of Eq. 8).
+const (
+	FlopsVelocityPerCell = 54 // 3 components x (3 derivatives + scale)
+	FlopsStressPerCell   = 72 // 9 derivatives + 6 constitutive updates
+)
+
+// State holds the nine wavefield components on one subgrid.
+type State struct {
+	Dims       grid.Dims
+	VX, VY, VZ *grid.Field3
+	XX, YY, ZZ *grid.Field3
+	XY, XZ, YZ *grid.Field3
+}
+
+// NewState allocates a zeroed wavefield.
+func NewState(d grid.Dims) *State {
+	return &State{
+		Dims: d,
+		VX:   grid.NewField3(d), VY: grid.NewField3(d), VZ: grid.NewField3(d),
+		XX: grid.NewField3(d), YY: grid.NewField3(d), ZZ: grid.NewField3(d),
+		XY: grid.NewField3(d), XZ: grid.NewField3(d), YZ: grid.NewField3(d),
+	}
+}
+
+// Fields returns the nine component fields in canonical order
+// (vx, vy, vz, sxx, syy, szz, sxy, sxz, syz).
+func (s *State) Fields() []*grid.Field3 {
+	return []*grid.Field3{s.VX, s.VY, s.VZ, s.XX, s.YY, s.ZZ, s.XY, s.XZ, s.YZ}
+}
+
+// FieldNames matches the order of Fields.
+var FieldNames = []string{"vx", "vy", "vz", "sxx", "syy", "szz", "sxy", "sxz", "syz"}
+
+// Velocities returns only the velocity components.
+func (s *State) Velocities() []*grid.Field3 { return []*grid.Field3{s.VX, s.VY, s.VZ} }
+
+// Stresses returns only the stress components.
+func (s *State) Stresses() []*grid.Field3 {
+	return []*grid.Field3{s.XX, s.YY, s.ZZ, s.XY, s.XZ, s.YZ}
+}
+
+// Clone deep-copies the state.
+func (s *State) Clone() *State {
+	return &State{
+		Dims: s.Dims,
+		VX:   s.VX.Clone(), VY: s.VY.Clone(), VZ: s.VZ.Clone(),
+		XX: s.XX.Clone(), YY: s.YY.Clone(), ZZ: s.ZZ.Clone(),
+		XY: s.XY.Clone(), XZ: s.XZ.Clone(), YZ: s.YZ.Clone(),
+	}
+}
+
+// L2Diff returns the root-sum-square difference over all nine components.
+func (s *State) L2Diff(o *State) float64 {
+	var sum float64
+	sf, of := s.Fields(), o.Fields()
+	for i := range sf {
+		d := sf[i].L2Diff(of[i])
+		sum += d * d
+	}
+	// sqrt of sum of squared L2 norms.
+	return math.Sqrt(sum)
+}
+
+// MaxAbs returns the largest absolute value across all components.
+func (s *State) MaxAbs() float32 {
+	var m float32
+	for _, f := range s.Fields() {
+		if v := f.MaxAbs(); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Box is a half-open index region [I0,I1)x[J0,J1)x[K0,K1) of the interior.
+type Box struct {
+	I0, I1, J0, J1, K0, K1 int
+}
+
+// FullBox covers the whole interior of d.
+func FullBox(d grid.Dims) Box {
+	return Box{0, d.NX, 0, d.NY, 0, d.NZ}
+}
+
+// Empty reports whether the box contains no cells.
+func (b Box) Empty() bool { return b.I1 <= b.I0 || b.J1 <= b.J0 || b.K1 <= b.K0 }
+
+// Cells returns the number of cells in the box (0 if empty).
+func (b Box) Cells() int {
+	if b.Empty() {
+		return 0
+	}
+	return (b.I1 - b.I0) * (b.J1 - b.J0) * (b.K1 - b.K0)
+}
+
+func (b Box) String() string {
+	return fmt.Sprintf("[%d,%d)x[%d,%d)x[%d,%d)", b.I0, b.I1, b.J0, b.J1, b.K0, b.K1)
+}
+
+// Shrink returns the box shrunk by w cells on the faces indicated by the
+// masks; used to split a subgrid into halo-independent interior and
+// boundary strips for computation/communication overlap (§IV.C).
+func (b Box) Shrink(w int, loX, hiX, loY, hiY, loZ, hiZ bool) Box {
+	out := b
+	if loX {
+		out.I0 += w
+	}
+	if hiX {
+		out.I1 -= w
+	}
+	if loY {
+		out.J0 += w
+	}
+	if hiY {
+		out.J1 -= w
+	}
+	if loZ {
+		out.K0 += w
+	}
+	if hiZ {
+		out.K1 -= w
+	}
+	return out
+}

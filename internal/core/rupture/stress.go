@@ -1,0 +1,266 @@
+package rupture
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+)
+
+// fft performs an in-place radix-2 Cooley–Tukey FFT; n must be a power of
+// two. inverse=true applies the unscaled inverse transform (caller divides
+// by n).
+func fft(a []complex128, inverse bool) {
+	n := len(a)
+	if n&(n-1) != 0 {
+		panic(fmt.Sprintf("rupture: fft length %d not a power of two", n))
+	}
+	// Bit reversal.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := 2 * math.Pi / float64(length)
+		if !inverse {
+			ang = -ang
+		}
+		wl := cmplx.Exp(complex(0, ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			for j := 0; j < length/2; j++ {
+				u := a[i+j]
+				v := a[i+j+length/2] * w
+				a[i+j] = u + v
+				a[i+j+length/2] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// fft2 applies fft along both axes of an nx*nz grid stored row-major
+// (z rows of length nx).
+func fft2(a []complex128, nx, nz int, inverse bool) {
+	row := make([]complex128, nx)
+	for k := 0; k < nz; k++ {
+		copy(row, a[k*nx:(k+1)*nx])
+		fft(row, inverse)
+		copy(a[k*nx:(k+1)*nx], row)
+	}
+	col := make([]complex128, nz)
+	for i := 0; i < nx; i++ {
+		for k := 0; k < nz; k++ {
+			col[k] = a[k*nx+i]
+		}
+		fft(col, inverse)
+		for k := 0; k < nz; k++ {
+			a[k*nx+i] = col[k]
+		}
+	}
+}
+
+// nextPow2 returns the smallest power of two >= n.
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// VonKarman generates an ni x nk random field with a Von Kármán
+// autocorrelation (Hurst exponent hurst, correlation lengths ax and az in
+// meters, grid spacing h), normalized to zero mean and unit variance —
+// the stochastic component of the M8 initial stress (§VII.A, 50 km / 10 km
+// correlation lengths).
+func VonKarman(ni, nk int, h, ax, az, hurst float64, seed int64) [][]float64 {
+	px, pz := nextPow2(ni), nextPow2(nk)
+	rng := rand.New(rand.NewSource(seed))
+	a := make([]complex128, px*pz)
+	for k := 0; k < pz; k++ {
+		kz := float64(k)
+		if k > pz/2 {
+			kz = float64(k - pz)
+		}
+		kzw := 2 * math.Pi * kz / (float64(pz) * h)
+		for i := 0; i < px; i++ {
+			kx := float64(i)
+			if i > px/2 {
+				kx = float64(i - px)
+			}
+			kxw := 2 * math.Pi * kx / (float64(px) * h)
+			// Von Kármán power spectrum ~ (1 + (k·a)^2)^-(H+1).
+			k2 := kxw*kxw*ax*ax + kzw*kzw*az*az
+			amp := math.Pow(1+k2, -(hurst+1)/2)
+			phase := rng.Float64() * 2 * math.Pi
+			a[k*px+i] = cmplx.Rect(amp, phase)
+		}
+	}
+	a[0] = 0 // zero mean
+	fft2(a, px, pz, true)
+
+	out := make([][]float64, nk)
+	var mean, ss float64
+	for k := 0; k < nk; k++ {
+		out[k] = make([]float64, ni)
+		for i := 0; i < ni; i++ {
+			v := real(a[k*px+i])
+			out[k][i] = v
+			mean += v
+		}
+	}
+	n := float64(ni * nk)
+	mean /= n
+	for k := range out {
+		for i := range out[k] {
+			out[k][i] -= mean
+			ss += out[k][i] * out[k][i]
+		}
+	}
+	sd := math.Sqrt(ss / n)
+	if sd == 0 {
+		sd = 1
+	}
+	for k := range out {
+		for i := range out[k] {
+			out[k][i] /= sd
+		}
+	}
+	return out
+}
+
+// StressProfileSpec builds the M8-style depth-dependent initial stress and
+// friction fields (§VII.A): normal stress growing with overburden, a
+// random shear-stress component accommodated between residual reloading
+// and failure levels, velocity strengthening in the top 2–3 km, and a Dc
+// increase toward the free surface.
+type StressProfileSpec struct {
+	NI, NK int     // fault extent in nodes (along strike, down dip)
+	H      float64 // grid spacing, m
+	DepthK func(k int) float64
+
+	MuS, MuD float64 // base friction coefficients (0.75 / 0.5 for M8)
+	Dc       float64 // base slip-weakening distance (0.3 m)
+	Cohesion float64 // 1 MPa for M8
+
+	EffectiveGamma float64 // effective overburden gradient, Pa/m (rho'*g)
+	ReloadFraction float64 // position of mean stress between residual and failure
+	StressRelAmp   float64 // random amplitude relative to (failure-residual)/2
+
+	// Velocity strengthening zone: MuD > MuS above VSTop, linear
+	// transition to VSBottom.
+	VSTop, VSBottom float64 // m (2000, 3000 for M8)
+	// Dc taper: Dc rises to DcSurface at the free surface over DcTaperDepth.
+	DcSurface, DcTaperDepth float64
+
+	// Random field parameters.
+	AX, AZ, Hurst float64
+	Seed          int64
+}
+
+// M8StressSpec returns the published M8 parameter set for a fault of
+// ni x nk nodes at spacing h (node k at depth (k+1/2)*h... the caller's
+// DepthK may override; default is k*h).
+func M8StressSpec(ni, nk int, h float64) StressProfileSpec {
+	return StressProfileSpec{
+		NI: ni, NK: nk, H: h,
+		DepthK:         func(k int) float64 { return float64(k) * h },
+		MuS:            0.75,
+		MuD:            0.5,
+		Dc:             0.3,
+		Cohesion:       1e6,
+		EffectiveGamma: 10e3, // ~ (rho - rho_w) * g
+		ReloadFraction: 0.55,
+		StressRelAmp:   0.45,
+		VSTop:          2000,
+		VSBottom:       3000,
+		DcSurface:      1.0,
+		DcTaperDepth:   3000,
+		AX:             50e3,
+		AZ:             10e3,
+		Hurst:          0.75,
+		Seed:           1443, // the paper's SCEC contribution number
+	}
+}
+
+// Build produces the Tau0, SigmaN and Friction fields for a Config.
+func (sp StressProfileSpec) Build() (tau0, sigmaN [][]float64, fric [][]Friction) {
+	rnd := VonKarman(sp.NI, sp.NK, sp.H, sp.AX, sp.AZ, sp.Hurst, sp.Seed)
+	tau0 = make([][]float64, sp.NK)
+	sigmaN = make([][]float64, sp.NK)
+	fric = make([][]Friction, sp.NK)
+	for k := 0; k < sp.NK; k++ {
+		z := sp.DepthK(k)
+		tau0[k] = make([]float64, sp.NI)
+		sigmaN[k] = make([]float64, sp.NI)
+		fric[k] = make([]Friction, sp.NI)
+
+		sn := sp.EffectiveGamma * z
+		if sn < sp.EffectiveGamma*sp.H/2 {
+			sn = sp.EffectiveGamma * sp.H / 2 // half-cell minimum
+		}
+
+		mud := sp.MuD
+		switch {
+		case z <= sp.VSTop:
+			// Velocity strengthening: force mud above mus (negative stress
+			// drop), emulated as in the paper.
+			mud = sp.MuS + 0.05
+		case z < sp.VSBottom:
+			f := (z - sp.VSTop) / (sp.VSBottom - sp.VSTop)
+			mud = (sp.MuS+0.05)*(1-f) + sp.MuD*f
+		}
+
+		dc := sp.Dc
+		if z < sp.DcTaperDepth {
+			// Cosine taper raising Dc toward the surface.
+			w := 0.5 * (1 + math.Cos(math.Pi*z/sp.DcTaperDepth))
+			dc = sp.Dc + (sp.DcSurface-sp.Dc)*w
+		}
+
+		for i := 0; i < sp.NI; i++ {
+			fric[k][i] = Friction{MuS: sp.MuS, MuD: mud, Dc: dc, Cohesion: sp.Cohesion}
+			sigmaN[k][i] = sn
+
+			failure := sp.Cohesion + sp.MuS*sn
+			residual := mud * sn
+			mid := residual + sp.ReloadFraction*(failure-residual)
+			amp := sp.StressRelAmp * (failure - residual) / 2
+			t := mid + amp*rnd[k][i]
+			if t < 0 {
+				t = 0
+			}
+			if t > failure {
+				t = failure
+			}
+			// Taper shear stress to zero at the surface over the top 2 km.
+			if z < 2000 {
+				t *= z / 2000
+			}
+			tau0[k][i] = t
+		}
+	}
+	return tau0, sigmaN, fric
+}
+
+// Nucleate raises tau0 above failure inside a circular patch centred at
+// node (ci, ck) with radius cells — the "small stress increment near the
+// nucleation patch" of §VII.A.
+func Nucleate(tau0, sigmaN [][]float64, fric [][]Friction, ci, ck, radius int, excess float64) {
+	for k := range tau0 {
+		for i := range tau0[k] {
+			di, dk := i-ci, k-ck
+			if di*di+dk*dk <= radius*radius {
+				failure := fric[k][i].Cohesion + fric[k][i].MuS*sigmaN[k][i]
+				tau0[k][i] = failure * (1 + excess)
+			}
+		}
+	}
+}

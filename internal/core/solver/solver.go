@@ -1,0 +1,483 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/core/attenuation"
+	"repro/internal/core/boundary"
+	"repro/internal/core/fd"
+	"repro/internal/core/rupture"
+	"repro/internal/core/source"
+	"repro/internal/cvm"
+	"repro/internal/decomp"
+	"repro/internal/grid"
+	"repro/internal/medium"
+	"repro/internal/mpi"
+)
+
+// ABCKind selects the absorbing boundary treatment (§II.D).
+type ABCKind int
+
+const (
+	// NoABC leaves rigid outer boundaries (verification runs only).
+	NoABC ABCKind = iota
+	// SpongeABC uses Cerjan sponge layers — unconditionally stable.
+	SpongeABC
+	// MPMLABC uses split-field multi-axial PMLs (the M8 production choice).
+	MPMLABC
+)
+
+// FaultSpec configures DFR (SGSN) mode: a dynamic rupture on the plane
+// y = J0*h, with per-node initial stress and friction given on the global
+// fault window [I0,I1) x [K0,K1).
+type FaultSpec struct {
+	J0             int
+	I0, I1, K0, K1 int
+	Tau0           [][]float64
+	SigmaN         [][]float64
+	Friction       [][]rupture.Friction
+	// RecordEvery > 0 records slip-rate histories every that many steps
+	// (for the dynamic-to-kinematic transfer).
+	RecordEvery int
+}
+
+// Options configures a run.
+type Options struct {
+	Global grid.Dims
+	H      float64
+	Dt     float64 // <= 0: derived from the medium at CFL 0.5
+	Steps  int
+	Topo   mpi.Cart // zero value: single rank
+
+	Comm     CommModel
+	Variant  fd.Variant
+	Blocking fd.Blocking
+	// Threads enables the hybrid MPI/OpenMP mode (§IV.D): worker
+	// goroutines per rank over k-slabs. <= 1 is pure MPI.
+	Threads int
+
+	ABC         ABCKind
+	PMLWidth    int
+	SpongeWidth int
+	SpongeAlpha float64
+	FreeSurface bool
+
+	Attenuation bool
+	Band        attenuation.Band
+
+	Sources []source.SampledSource
+	Fault   *FaultSpec
+
+	Receivers   [][3]int // global (i,j,k) seismogram locations
+	RecordEvery int      // seismogram decimation (default 1)
+	TrackPGV    bool     // accumulate surface peak velocity maps
+}
+
+// Result collects rank-0 outputs of a run.
+type Result struct {
+	Steps int
+	Dt    float64
+
+	// Seismograms[r][n] is the velocity vector at receiver r, sample n.
+	Seismograms [][][3]float32
+
+	// Surface peak-velocity maps (global NX x NY, row-major y-fastest...
+	// indexed [j*NX+i]); nil unless TrackPGV.
+	PGVH []float64 // peak root-sum-square horizontal velocity
+	PGVX []float64 // peak |vx|
+	PGVY []float64 // peak |vy|
+	PGVZ []float64 // peak |vz|
+
+	// Fault outputs (DFR mode): global window arrays [K1-K0][I1-I0].
+	FaultSlip     [][]float64
+	FaultPeakRate [][]float64
+	FaultRupTime  [][]float64
+	FaultStats    rupture.Stats
+	MomentRate    []float64 // per step, N*m/s
+
+	// Slip-rate histories for the kinematic transfer: series[node] with
+	// node coordinates in SlipNodes; populated when Fault.RecordEvery > 0.
+	SlipNodes  [][3]int
+	SlipSeries [][]float32
+	SlipDt     float64
+
+	// Timing is the per-phase max across ranks (the Eq. 7 decomposition).
+	Timing Timing
+}
+
+// Timing is the measured Eq. 7 decomposition.
+type Timing struct {
+	Comp, Comm, Sync, Output float64 // seconds
+}
+
+// Run executes the simulation and returns the rank-0 result.
+func Run(q cvm.Querier, opt Options) (*Result, error) {
+	if opt.Topo.Size() == 0 {
+		opt.Topo = mpi.NewCart(1, 1, 1)
+	}
+	if opt.RecordEvery <= 0 {
+		opt.RecordEvery = 1
+	}
+	if opt.PMLWidth <= 0 {
+		opt.PMLWidth = boundary.DefaultPMLWidth
+	}
+	if opt.SpongeWidth <= 0 {
+		opt.SpongeWidth = boundary.DefaultSpongeWidth
+	}
+	if opt.SpongeAlpha <= 0 {
+		opt.SpongeAlpha = boundary.DefaultSpongeAlpha
+	}
+	if opt.Band.FMax <= 0 {
+		opt.Band = attenuation.DefaultBand
+	}
+	dc, err := decomp.New(opt.Global, opt.Topo)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Fault != nil && opt.Topo.PY != 1 {
+		return nil, fmt.Errorf("solver: DFR mode requires PY=1 (fault plane may not cross rank seams in y)")
+	}
+	if opt.Fault != nil && opt.Comm == AsyncOverlap {
+		return nil, fmt.Errorf("solver: DFR mode does not support the overlap comm model")
+	}
+
+	var result *Result
+	var runErr error
+	world := mpi.NewWorld(opt.Topo.Size())
+	world.Run(func(c *mpi.Comm) {
+		r, e := runRank(c, q, dc, opt)
+		if c.Rank() == 0 {
+			result, runErr = r, e
+		}
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+	return result, nil
+}
+
+// rank-local solver state.
+type rankState struct {
+	comm *mpi.Comm
+	sub  decomp.Sub
+	med  *medium.Medium
+	st   *fd.State
+	hx   *halo
+
+	nbrMask [3][2]bool
+
+	zones    []*boundary.PML
+	compBox  fd.Box // non-PML region the bulk kernels cover
+	sponge   *boundary.Sponge
+	fs       *boundary.FreeSurface
+	atten    *attenuation.Model
+	srcs     *source.Set
+	fault    *rupture.Fault
+	recorder *rupture.SlipRateHistoryRecorder
+
+	receivers []ownedReceiver
+	pgvh      []float64
+	pgvx      []float64
+	pgvy      []float64
+	pgvz      []float64
+}
+
+type ownedReceiver struct {
+	idx        int
+	li, lj, lk int
+	series     [][3]float32
+}
+
+func runRank(c *mpi.Comm, q cvm.Querier, dc decomp.Decomp, opt Options) (*Result, error) {
+	rs := &rankState{comm: c, sub: dc.SubFor(c.Rank())}
+	rs.med = medium.FromCVM(q, dc, rs.sub, opt.H)
+	rs.st = fd.NewState(rs.sub.Local)
+	rs.hx = newHalo(c, opt.Topo)
+	for ax := 0; ax < 3; ax++ {
+		rs.nbrMask[ax][0] = opt.Topo.Neighbor(c.Rank(), ax, -1) >= 0
+		rs.nbrMask[ax][1] = opt.Topo.Neighbor(c.Rank(), ax, +1) >= 0
+	}
+
+	// Global stable dt.
+	dt := opt.Dt
+	if dt <= 0 {
+		dt = c.Allreduce([]float64{rs.med.StableDt(0.5)}, mpi.Min)[0]
+	}
+
+	// Boundary conditions on the physical faces this rank owns.
+	faces := ownedFaces(dc, c.Rank(), opt)
+	rs.compBox = fd.FullBox(rs.sub.Local)
+	switch opt.ABC {
+	case MPMLABC:
+		vpMax := c.Allreduce([]float64{rs.med.MaxVp}, mpi.Max)[0]
+		rs.zones, rs.compBox = boundary.BuildPML(rs.sub.Local, faces, opt.PMLWidth,
+			boundary.DefaultMPMLRatio, boundary.DefaultPMLReflection, vpMax, opt.H)
+	case SpongeABC:
+		globalFaces := boundary.FaceSet{
+			XLo: true, XHi: true, YLo: true, YHi: true,
+			ZLo: !opt.FreeSurface, ZHi: true,
+		}
+		rs.sponge = boundary.NewSpongeGlobal(rs.sub.Local, opt.Global,
+			[3]int{rs.sub.OffX, rs.sub.OffY, rs.sub.OffZ},
+			opt.SpongeWidth, opt.SpongeAlpha, globalFaces)
+	}
+	if opt.FreeSurface && rs.sub.OffZ == 0 {
+		rs.fs = boundary.NewFreeSurface(rs.sub.Local)
+	}
+	if opt.Attenuation {
+		rs.atten = attenuation.New(rs.med, opt.Band, dt)
+		rs.atten.Origin = [3]int{rs.sub.OffX, rs.sub.OffY, rs.sub.OffZ}
+	}
+	rs.srcs = source.Localize(opt.Sources, rs.sub, opt.H)
+
+	if opt.Fault != nil {
+		if err := rs.setupFault(opt, dt); err != nil {
+			return nil, err
+		}
+	}
+
+	for idx, r := range opt.Receivers {
+		if li, lj, lk, ok := rs.sub.Contains(r[0], r[1], r[2]); ok {
+			rs.receivers = append(rs.receivers, ownedReceiver{idx: idx, li: li, lj: lj, lk: lk})
+		}
+	}
+	if opt.TrackPGV && rs.sub.OffZ == 0 {
+		n := rs.sub.Local.NX * rs.sub.Local.NY
+		rs.pgvh = make([]float64, n)
+		rs.pgvx = make([]float64, n)
+		rs.pgvy = make([]float64, n)
+		rs.pgvz = make([]float64, n)
+	}
+
+	momentRate := make([]float64, 0, opt.Steps)
+	var tm Timing
+
+	for step := 0; step < opt.Steps; step++ {
+		tNow := float64(step+1) * dt
+		rs.advance(opt, dt, tNow, &tm)
+
+		if rs.fault != nil {
+			momentRate = append(momentRate, rs.fault.MomentRate(rs.med))
+			if rs.recorder != nil && step%opt.Fault.RecordEvery == 0 {
+				rs.recorder.Record()
+			}
+		}
+
+		t0 := time.Now()
+		if step%opt.RecordEvery == 0 {
+			for i := range rs.receivers {
+				r := &rs.receivers[i]
+				r.series = append(r.series, [3]float32{
+					rs.st.VX.At(r.li, r.lj, r.lk),
+					rs.st.VY.At(r.li, r.lj, r.lk),
+					rs.st.VZ.At(r.li, r.lj, r.lk),
+				})
+			}
+		}
+		rs.trackPGV()
+		tm.Output += time.Since(t0).Seconds()
+	}
+
+	return rs.collect(c, dc, opt, dt, momentRate, tm)
+}
+
+// ownedFaces reduces the ABC face set to the physical faces of this rank,
+// excluding the free surface.
+func ownedFaces(dc decomp.Decomp, rank int, opt Options) boundary.FaceSet {
+	bf := dc.BoundaryFaces(rank)
+	fs := boundary.FaceSet{
+		XLo: bf[grid.X][0], XHi: bf[grid.X][1],
+		YLo: bf[grid.Y][0], YHi: bf[grid.Y][1],
+		ZLo: bf[grid.Z][0] && !opt.FreeSurface,
+		ZHi: bf[grid.Z][1],
+	}
+	return fs
+}
+
+func (rs *rankState) setupFault(opt Options, dt float64) error {
+	f := opt.Fault
+	// Clip the global window to this rank's x/z extent.
+	i0 := max(f.I0, rs.sub.OffX)
+	i1 := min(f.I1, rs.sub.OffX+rs.sub.Local.NX)
+	k0 := max(f.K0, rs.sub.OffZ)
+	k1 := min(f.K1, rs.sub.OffZ+rs.sub.Local.NZ)
+	if i1 <= i0 || k1 <= k0 {
+		return nil // no fault nodes on this rank
+	}
+	nk, ni := k1-k0, i1-i0
+	tau := make([][]float64, nk)
+	sn := make([][]float64, nk)
+	fr := make([][]rupture.Friction, nk)
+	for k := 0; k < nk; k++ {
+		gk := k0 + k - f.K0
+		tau[k] = f.Tau0[gk][i0-f.I0 : i0-f.I0+ni]
+		sn[k] = f.SigmaN[gk][i0-f.I0 : i0-f.I0+ni]
+		fr[k] = f.Friction[gk][i0-f.I0 : i0-f.I0+ni]
+	}
+	cfg := rupture.Config{
+		J0: f.J0 - rs.sub.OffY,
+		I0: i0 - rs.sub.OffX, I1: i1 - rs.sub.OffX,
+		K0: k0 - rs.sub.OffZ, K1: k1 - rs.sub.OffZ,
+		Tau0: tau, SigmaN: sn, Friction: fr,
+	}
+	ft, err := rupture.NewFault(cfg, rs.sub.Local, rs.med.H)
+	if err != nil {
+		return err
+	}
+	rs.fault = ft
+	if f.RecordEvery > 0 {
+		rs.recorder = rupture.NewRecorder(ft, dt*float64(f.RecordEvery), 1<<20)
+	}
+	return nil
+}
+
+// advance performs one full time step with the configured comm model,
+// accumulating the Eq. 7 timing decomposition.
+func (rs *rankState) advance(opt Options, dt, tNow float64, tm *Timing) {
+	// --- Velocity phase ---
+	t0 := time.Now()
+	if opt.Comm == AsyncOverlap {
+		strips, inner := boundaryStrips(rs.sub.Local, rs.nbrMask, grid.Ghost)
+		for _, b := range strips {
+			fd.UpdateVelocity(rs.st, rs.med, dt, intersect(b, rs.compBox), opt.Variant, opt.Blocking)
+		}
+		for _, z := range rs.zones {
+			z.UpdateVelocity(rs.st, rs.med, dt)
+		}
+		tm.Comp += time.Since(t0).Seconds()
+		t0 = time.Now()
+		fin := rs.hx.postAsync(rs.st.Velocities(), []int{0, 1, 2}, velocityAxes(opt.Comm))
+		tm.Comm += time.Since(t0).Seconds()
+		t0 = time.Now()
+		fd.UpdateVelocity(rs.st, rs.med, dt, intersect(inner, rs.compBox), opt.Variant, opt.Blocking)
+		tm.Comp += time.Since(t0).Seconds()
+		t0 = time.Now()
+		fin()
+		tm.Comm += time.Since(t0).Seconds()
+	} else {
+		fd.UpdateVelocityParallel(rs.st, rs.med, dt, rs.compBox, opt.Variant, opt.Blocking, opt.Threads)
+		for _, z := range rs.zones {
+			z.UpdateVelocity(rs.st, rs.med, dt)
+		}
+		if rs.fault != nil {
+			rs.fault.UpdateVelocity(rs.st, rs.med, dt)
+		}
+		tm.Comp += time.Since(t0).Seconds()
+		t0 = time.Now()
+		rs.hx.exchangeVelocities(rs.st, opt.Comm)
+		tm.Comm += time.Since(t0).Seconds()
+		if opt.Comm == Synchronous {
+			t0 = time.Now()
+			rs.comm.Barrier()
+			tm.Sync += time.Since(t0).Seconds()
+		}
+	}
+	t0 = time.Now()
+	if rs.fs != nil {
+		rs.fs.ApplyVelocity(rs.st, rs.med)
+	}
+	tm.Comp += time.Since(t0).Seconds()
+
+	// --- Stress phase ---
+	// The sponge runs after the exchange (it damps ghost copies with the
+	// same global taper, so every rank damps identical physical cells);
+	// source injection runs before the strips are packed so neighbor
+	// ghosts include it.
+	t0 = time.Now()
+	if opt.Comm == AsyncOverlap {
+		strips, inner := boundaryStrips(rs.sub.Local, rs.nbrMask, grid.Ghost)
+		for _, b := range strips {
+			sb := intersect(b, rs.compBox)
+			fd.UpdateStress(rs.st, rs.med, dt, sb, opt.Variant, opt.Blocking)
+			if rs.atten != nil {
+				rs.atten.Apply(rs.st, rs.med, dt, sb)
+			}
+		}
+		for _, z := range rs.zones {
+			z.UpdateStress(rs.st, rs.med, dt)
+		}
+		inner2 := intersect(inner, rs.compBox)
+		rs.srcs.InjectRegion(rs.st, dt, tNow, inner2, false) // strip sources
+		tm.Comp += time.Since(t0).Seconds()
+		t0 = time.Now()
+		fin := rs.hx.postAsync(rs.st.Stresses(), []int{3, 4, 5, 6, 7, 8}, stressAxes(opt.Comm))
+		tm.Comm += time.Since(t0).Seconds()
+		t0 = time.Now()
+		fd.UpdateStress(rs.st, rs.med, dt, inner2, opt.Variant, opt.Blocking)
+		if rs.atten != nil {
+			rs.atten.Apply(rs.st, rs.med, dt, inner2)
+		}
+		rs.srcs.InjectRegion(rs.st, dt, tNow, inner2, true) // interior sources
+		tm.Comp += time.Since(t0).Seconds()
+		t0 = time.Now()
+		fin()
+		tm.Comm += time.Since(t0).Seconds()
+	} else {
+		fd.UpdateStressParallel(rs.st, rs.med, dt, rs.compBox, opt.Variant, opt.Blocking, opt.Threads)
+		for _, z := range rs.zones {
+			z.UpdateStress(rs.st, rs.med, dt)
+		}
+		if rs.fault != nil {
+			rs.fault.CorrectStress(rs.st, rs.med, dt)
+		}
+		if rs.atten != nil {
+			rs.atten.ApplyParallel(rs.st, rs.med, dt, rs.compBox, opt.Threads)
+		}
+		rs.srcs.Inject(rs.st, dt, tNow)
+		tm.Comp += time.Since(t0).Seconds()
+		t0 = time.Now()
+		rs.hx.exchangeStresses(rs.st, opt.Comm)
+		tm.Comm += time.Since(t0).Seconds()
+		if opt.Comm == Synchronous {
+			t0 = time.Now()
+			rs.comm.Barrier()
+			tm.Sync += time.Since(t0).Seconds()
+		}
+	}
+	t0 = time.Now()
+	if rs.sponge != nil {
+		rs.sponge.Apply(rs.st)
+	}
+	if rs.fs != nil {
+		rs.fs.ApplyStress(rs.st)
+	}
+	tm.Comp += time.Since(t0).Seconds()
+}
+
+// trackPGV folds the current surface velocities into the peak maps.
+func (rs *rankState) trackPGV() {
+	if rs.pgvh == nil {
+		return
+	}
+	nx := rs.sub.Local.NX
+	for j := 0; j < rs.sub.Local.NY; j++ {
+		for i := 0; i < nx; i++ {
+			vx := float64(rs.st.VX.At(i, j, 0))
+			vy := float64(rs.st.VY.At(i, j, 0))
+			vz := float64(rs.st.VZ.At(i, j, 0))
+			n := j*nx + i
+			if h := math.Hypot(vx, vy); h > rs.pgvh[n] {
+				rs.pgvh[n] = h
+			}
+			if a := math.Abs(vx); a > rs.pgvx[n] {
+				rs.pgvx[n] = a
+			}
+			if a := math.Abs(vy); a > rs.pgvy[n] {
+				rs.pgvy[n] = a
+			}
+			if a := math.Abs(vz); a > rs.pgvz[n] {
+				rs.pgvz[n] = a
+			}
+		}
+	}
+}
+
+func intersect(a, b fd.Box) fd.Box {
+	return fd.Box{
+		I0: max(a.I0, b.I0), I1: min(a.I1, b.I1),
+		J0: max(a.J0, b.J0), J1: min(a.J1, b.J1),
+		K0: max(a.K0, b.K0), K1: min(a.K1, b.K1),
+	}
+}

@@ -1,0 +1,77 @@
+package source
+
+import "math"
+
+// LowPass4 applies a causal 4th-order Butterworth low-pass filter with
+// cut-off frequency fc (Hz) to a series sampled at dt, in place — the
+// filter applied to the M8 dynamic source before insertion onto the
+// segmented fault (§VII.B). It is implemented as a cascade of two
+// second-order sections.
+func LowPass4(series []float32, dt, fc float64) {
+	// Butterworth 4th order = biquads with Q = 1/(2cos(pi/8)) and
+	// 1/(2cos(3pi/8)).
+	for _, q := range []float64{1 / (2 * math.Cos(math.Pi/8)), 1 / (2 * math.Cos(3*math.Pi/8))} {
+		biquadLowPass(series, dt, fc, q)
+	}
+}
+
+// biquadLowPass runs one RBJ-cookbook low-pass biquad over the series.
+func biquadLowPass(series []float32, dt, fc, q float64) {
+	w0 := 2 * math.Pi * fc * dt
+	cw, sw := math.Cos(w0), math.Sin(w0)
+	alpha := sw / (2 * q)
+	b0 := (1 - cw) / 2
+	b1 := 1 - cw
+	b2 := (1 - cw) / 2
+	a0 := 1 + alpha
+	a1 := -2 * cw
+	a2 := 1 - alpha
+	b0, b1, b2 = b0/a0, b1/a0, b2/a0
+	a1, a2 = a1/a0, a2/a0
+
+	var x1, x2, y1, y2 float64
+	for i, xv := range series {
+		x := float64(xv)
+		y := b0*x + b1*x1 + b2*x2 - a1*y1 - a2*y2
+		x2, x1 = x1, x
+		y2, y1 = y1, y
+		series[i] = float32(y)
+	}
+}
+
+// Resample converts a series sampled at dtIn to dtOut by linear
+// interpolation, producing nOut samples — the temporal interpolation step
+// of the dynamic-to-kinematic source transfer.
+func Resample(in []float32, dtIn, dtOut float64, nOut int) []float32 {
+	out := make([]float32, nOut)
+	for n := 0; n < nOut; n++ {
+		t := float64(n) * dtOut
+		x := t / dtIn
+		i := int(x)
+		if i >= len(in)-1 {
+			if i == len(in)-1 {
+				out[n] = in[i]
+			}
+			continue
+		}
+		f := float32(x - float64(i))
+		out[n] = in[i]*(1-f) + in[i+1]*f
+	}
+	return out
+}
+
+// TransferDynamic converts dynamic-rupture slip-rate output into a
+// kinematic sampled source: per sub-fault, moment rate = mu * area *
+// sliprate, resampled to dtOut and low-pass filtered at fcut — the M8
+// two-step method (§VII). sliprate is sampled at dtIn; area is the
+// sub-fault area (h^2); the slip direction is along-strike (x), producing
+// an xy double couple.
+func TransferDynamic(gi, gj, gk int, sliprate []float32, mu, area, dtIn, dtOut, fcut float64, ntOut int) SampledSource {
+	rate := Resample(sliprate, dtIn, dtOut, ntOut)
+	LowPass4(rate, dtOut, fcut)
+	out := SampledSource{GI: gi, GJ: gj, GK: gk, Dt: dtOut, Rate: make([][6]float32, ntOut)}
+	for n := range rate {
+		out.Rate[n][3] = float32(mu * area * float64(rate[n])) // Mxy
+	}
+	return out
+}

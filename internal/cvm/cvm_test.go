@@ -1,0 +1,167 @@
+package cvm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHomogeneousQuery(t *testing.T) {
+	want := Material{Vp: 6000, Vs: 3464, Rho: 2700}
+	m := Homogeneous(want)
+	for _, p := range [][3]float64{{0, 0, 0}, {1e5, 2e5, 5e4}, {-10, -10, 1}} {
+		got := m.Query(p[0], p[1], p[2])
+		if math.Abs(got.Vs-want.Vs) > 1e-9 || math.Abs(got.Vp-want.Vp) > 1e-6 {
+			t.Fatalf("Query(%v) = %+v, want Vp/Vs %g/%g", p, got, want.Vp, want.Vs)
+		}
+	}
+}
+
+func TestSoCalBackgroundIncreasesWithDepth(t *testing.T) {
+	m := SoCal(810e3, 405e3, 85e3, 400)
+	// Probe a point far from all basins.
+	x, y := 50e3, 350e3
+	prev := m.Query(x, y, 0)
+	for _, z := range []float64{500, 2000, 8000, 30000, 80000} {
+		cur := m.Query(x, y, z)
+		if cur.Vs < prev.Vs {
+			t.Fatalf("Vs decreased with depth: %g at %g -> %g", prev.Vs, z, cur.Vs)
+		}
+		if cur.Vp <= cur.Vs {
+			t.Fatalf("Vp <= Vs at depth %g", z)
+		}
+		prev = cur
+	}
+	if prev.Vs > m.MaxVs {
+		t.Fatalf("Vs exceeded cap: %g", prev.Vs)
+	}
+}
+
+func TestSoCalBasinsAreSlow(t *testing.T) {
+	m := SoCal(810e3, 405e3, 85e3, 400)
+	for _, b := range m.Basins {
+		center := m.Query(b.CX, b.CY, 0)
+		outside := m.Query(b.CX+2*b.RX, b.CY+2*b.RY, 0)
+		if center.Vs >= outside.Vs {
+			t.Errorf("basin %s: center Vs %g not slower than background %g", b.Name, center.Vs, outside.Vs)
+		}
+		if center.Vs < m.MinVs {
+			t.Errorf("basin %s: Vs %g below floor %g", b.Name, center.Vs, m.MinVs)
+		}
+	}
+}
+
+func TestVsFloorApplied(t *testing.T) {
+	m := SoCal(810e3, 405e3, 85e3, 760) // higher floor
+	for _, b := range m.Basins {
+		got := m.Query(b.CX, b.CY, 0)
+		if got.Vs < 760 {
+			t.Errorf("basin %s: Vs %g below requested floor", b.Name, got.Vs)
+		}
+	}
+}
+
+func TestQueryClampsOutside(t *testing.T) {
+	m := SoCal(810e3, 405e3, 85e3, 400)
+	in := m.Query(0, 0, 0)
+	out := m.Query(-5000, -5000, -100)
+	if in != out {
+		t.Fatalf("clamped query differs: %+v vs %+v", in, out)
+	}
+}
+
+func TestQuality(t *testing.T) {
+	qp, qs := (Material{Vs: 2000}).Quality()
+	if qs != 100 || qp != 200 {
+		t.Fatalf("Quality = %g,%g, want 200,100", qp, qs)
+	}
+}
+
+func TestNafeDrakeMonotoneInRange(t *testing.T) {
+	prev := 0.0
+	for vp := 1500.0; vp <= 8000; vp += 100 {
+		rho := nafeDrake(vp)
+		if rho <= prev {
+			t.Fatalf("density not increasing at Vp=%g: %g <= %g", vp, rho, prev)
+		}
+		if rho < 1500 || rho > 3500 {
+			t.Fatalf("implausible density %g at Vp=%g", rho, vp)
+		}
+		prev = rho
+	}
+}
+
+func TestLayeredValidation(t *testing.T) {
+	if _, err := NewLayered(nil, nil); err == nil {
+		t.Error("accepted empty table")
+	}
+	if _, err := NewLayered([]float64{100}, []Material{{}}); err == nil {
+		t.Error("accepted first depth != 0")
+	}
+	if _, err := NewLayered([]float64{0, 0}, []Material{{}, {}}); err == nil {
+		t.Error("accepted non-ascending depths")
+	}
+	if _, err := NewLayered([]float64{0, 1}, []Material{{}}); err == nil {
+		t.Error("accepted length mismatch")
+	}
+}
+
+func TestLayeredInterpolation(t *testing.T) {
+	l := HardRock()
+	top := l.Query(0, 0, 0)
+	if top.Vs != 1800 {
+		t.Fatalf("surface Vs = %g", top.Vs)
+	}
+	mid := l.Query(0, 0, 500)
+	if mid.Vs <= 1800 || mid.Vs >= 2800 {
+		t.Fatalf("midpoint Vs = %g, want in (1800,2800)", mid.Vs)
+	}
+	deep := l.Query(0, 0, 1e6)
+	if deep.Vs != 3900 {
+		t.Fatalf("deep Vs = %g, want last layer", deep.Vs)
+	}
+	// Exactly at a boundary: continuous.
+	at := l.Query(0, 0, 1000)
+	if math.Abs(at.Vs-2800) > 1e-9 {
+		t.Fatalf("Vs at layer top = %g, want 2800", at.Vs)
+	}
+}
+
+func TestLayeredLateralInvariance(t *testing.T) {
+	l := HardRock()
+	a := l.Query(0, 0, 3000)
+	b := l.Query(1e9, -1e9, 3000)
+	if a != b {
+		t.Fatal("layered model should be laterally invariant")
+	}
+}
+
+// Property: any query anywhere in the SoCal model returns physically
+// plausible values (Vs floor respected, Vp > Vs, density plausible).
+func TestQuickSoCalPlausibility(t *testing.T) {
+	m := SoCal(810e3, 405e3, 85e3, 400)
+	prop := func(fx, fy, fz float64) bool {
+		x := math.Abs(math.Mod(fx, 1)) * m.LX
+		y := math.Abs(math.Mod(fy, 1)) * m.LY
+		z := math.Abs(math.Mod(fz, 1)) * m.LZ
+		mat := m.Query(x, y, z)
+		return mat.Vs >= 400 && mat.Vp > mat.Vs &&
+			mat.Rho >= 1000 && mat.Rho < 4000 &&
+			mat.Vs <= m.MaxVs*1.01
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the quality-factor relations hold exactly for any material.
+func TestQuickQualityRelations(t *testing.T) {
+	prop := func(vsk float64) bool {
+		vs := 400 + math.Abs(math.Mod(vsk, 1))*4000
+		qp, qs := (Material{Vs: vs}).Quality()
+		return math.Abs(qs-50*vs/1000) < 1e-9 && math.Abs(qp-2*qs) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

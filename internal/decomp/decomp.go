@@ -1,0 +1,174 @@
+// Package decomp implements the 3D domain decomposition AWP-ODC uses to
+// split the global finite-difference grid across ranks (§III.A). Each rank
+// owns a rectangular subgrid; the decomposition records local extents,
+// global offsets, and which subgrid faces touch the physical domain
+// boundary (those ranks also own absorbing-boundary work).
+package decomp
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+	"repro/internal/mpi"
+)
+
+// Decomp describes the split of a global grid over a Cartesian topology.
+type Decomp struct {
+	Global grid.Dims
+	Topo   mpi.Cart
+}
+
+// New validates the decomposition. Every rank must receive at least four
+// cells per decomposed axis so the 4th-order stencil's two-cell halo never
+// spans more than one neighbor.
+func New(global grid.Dims, topo mpi.Cart) (Decomp, error) {
+	if !global.Valid() {
+		return Decomp{}, fmt.Errorf("decomp: invalid global dims %v", global)
+	}
+	d := Decomp{Global: global, Topo: topo}
+	for axis, pair := range [3][2]int{{global.NX, topo.PX}, {global.NY, topo.PY}, {global.NZ, topo.PZ}} {
+		n, p := pair[0], pair[1]
+		if p > n {
+			return Decomp{}, fmt.Errorf("decomp: axis %d has %d ranks for %d cells", axis, p, n)
+		}
+		if p > 1 && n/p < grid.Ghost*2 {
+			return Decomp{}, fmt.Errorf("decomp: axis %d subgrid too thin (%d cells / %d ranks < %d)",
+				axis, n, p, grid.Ghost*2)
+		}
+	}
+	return d, nil
+}
+
+// Sub describes one rank's subgrid.
+type Sub struct {
+	Rank  int
+	Local grid.Dims // local interior extent
+	// Off is the global index of the local (0,0,0) cell.
+	OffX, OffY, OffZ int
+	// Coords in the topology.
+	CX, CY, CZ int
+}
+
+// split1 computes the size and offset of part c out of p along an axis of
+// n cells, distributing the remainder to the leading parts (the same
+// balanced block distribution the original code uses).
+func split1(n, p, c int) (size, off int) {
+	base := n / p
+	rem := n % p
+	if c < rem {
+		return base + 1, c * (base + 1)
+	}
+	return base, rem*(base+1) + (c-rem)*base
+}
+
+// SubFor returns the subgrid owned by rank.
+func (d Decomp) SubFor(rank int) Sub {
+	cx, cy, cz := d.Topo.Coords(rank)
+	nx, ox := split1(d.Global.NX, d.Topo.PX, cx)
+	ny, oy := split1(d.Global.NY, d.Topo.PY, cy)
+	nz, oz := split1(d.Global.NZ, d.Topo.PZ, cz)
+	return Sub{
+		Rank:  rank,
+		Local: grid.Dims{NX: nx, NY: ny, NZ: nz},
+		OffX:  ox, OffY: oy, OffZ: oz,
+		CX: cx, CY: cy, CZ: cz,
+	}
+}
+
+// Owner returns the rank owning global cell (gi, gj, gk).
+func (d Decomp) Owner(gi, gj, gk int) int {
+	return d.Topo.Rank(owner1(d.Global.NX, d.Topo.PX, gi),
+		owner1(d.Global.NY, d.Topo.PY, gj),
+		owner1(d.Global.NZ, d.Topo.PZ, gk))
+}
+
+func owner1(n, p, g int) int {
+	if g < 0 || g >= n {
+		panic(fmt.Sprintf("decomp: global index %d outside [0,%d)", g, n))
+	}
+	base := n / p
+	rem := n % p
+	cut := rem * (base + 1)
+	if g < cut {
+		return g / (base + 1)
+	}
+	return rem + (g-cut)/base
+}
+
+// Contains reports whether the subgrid owns global cell (gi,gj,gk) and, if
+// so, its local coordinates.
+func (s Sub) Contains(gi, gj, gk int) (li, lj, lk int, ok bool) {
+	li, lj, lk = gi-s.OffX, gj-s.OffY, gk-s.OffZ
+	ok = li >= 0 && li < s.Local.NX && lj >= 0 && lj < s.Local.NY && lk >= 0 && lk < s.Local.NZ
+	return
+}
+
+// BoundaryFaces returns, for each axis/side, whether this subgrid touches
+// the physical domain boundary.
+func (d Decomp) BoundaryFaces(rank int) map[grid.Axis][2]bool {
+	out := make(map[grid.Axis][2]bool, 3)
+	for axis := 0; axis < 3; axis++ {
+		lo := d.Topo.OnBoundary(rank, axis, -1)
+		hi := d.Topo.OnBoundary(rank, axis, +1)
+		out[grid.Axis(axis)] = [2]bool{lo, hi}
+	}
+	return out
+}
+
+// InteriorCells returns the total cells of the subgrid that are at least
+// `width` cells away from every subgrid face with a neighbor — the cells
+// whose update needs no halo data, used by the computation/communication
+// overlap schedule (§IV.C).
+func (d Decomp) InteriorCells(rank, width int) int {
+	s := d.SubFor(rank)
+	nx, ny, nz := s.Local.NX, s.Local.NY, s.Local.NZ
+	shrink := func(n int, loNbr, hiNbr bool) int {
+		if loNbr {
+			n -= width
+		}
+		if hiNbr {
+			n -= width
+		}
+		if n < 0 {
+			n = 0
+		}
+		return n
+	}
+	nx = shrink(nx, d.Topo.Neighbor(rank, 0, -1) >= 0, d.Topo.Neighbor(rank, 0, +1) >= 0)
+	ny = shrink(ny, d.Topo.Neighbor(rank, 1, -1) >= 0, d.Topo.Neighbor(rank, 1, +1) >= 0)
+	nz = shrink(nz, d.Topo.Neighbor(rank, 2, -1) >= 0, d.Topo.Neighbor(rank, 2, +1) >= 0)
+	return nx * ny * nz
+}
+
+// BestTopo chooses the PX×PY×PZ factorization of nranks that minimizes
+// total halo surface for the given global grid — the heuristic the mesh
+// partitioner applies when the user does not pin a topology.
+func BestTopo(global grid.Dims, nranks int) mpi.Cart {
+	best := mpi.Cart{PX: nranks, PY: 1, PZ: 1}
+	bestCost := -1.0
+	for px := 1; px <= nranks; px++ {
+		if nranks%px != 0 {
+			continue
+		}
+		rem := nranks / px
+		for py := 1; py <= rem; py++ {
+			if rem%py != 0 {
+				continue
+			}
+			pz := rem / py
+			if px > global.NX || py > global.NY || pz > global.NZ {
+				continue
+			}
+			// Total communication volume = sum over axes of
+			// (cuts along axis) x (cut-plane area).
+			cost := float64(px-1)*float64(global.NY)*float64(global.NZ) +
+				float64(py-1)*float64(global.NX)*float64(global.NZ) +
+				float64(pz-1)*float64(global.NX)*float64(global.NY)
+			if bestCost < 0 || cost < bestCost {
+				bestCost = cost
+				best = mpi.Cart{PX: px, PY: py, PZ: pz}
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,184 @@
+package decomp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/grid"
+	"repro/internal/mpi"
+)
+
+func mustNew(t *testing.T, g grid.Dims, topo mpi.Cart) Decomp {
+	t.Helper()
+	d, err := New(g, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewRejectsBadConfigs(t *testing.T) {
+	if _, err := New(grid.Dims{NX: 0, NY: 4, NZ: 4}, mpi.NewCart(1, 1, 1)); err == nil {
+		t.Error("accepted invalid dims")
+	}
+	if _, err := New(grid.Dims{NX: 2, NY: 4, NZ: 4}, mpi.NewCart(3, 1, 1)); err == nil {
+		t.Error("accepted more ranks than cells")
+	}
+	if _, err := New(grid.Dims{NX: 6, NY: 4, NZ: 4}, mpi.NewCart(2, 1, 1)); err == nil {
+		t.Error("accepted subgrid thinner than 2*Ghost")
+	}
+}
+
+func TestSubgridsTileGlobalExactly(t *testing.T) {
+	g := grid.Dims{NX: 13, NY: 9, NZ: 11}
+	topo := mpi.NewCart(3, 2, 2)
+	d := mustNew(t, g, topo)
+	covered := make(map[[3]int]int)
+	total := 0
+	for r := 0; r < topo.Size(); r++ {
+		s := d.SubFor(r)
+		total += s.Local.Cells()
+		for k := 0; k < s.Local.NZ; k++ {
+			for j := 0; j < s.Local.NY; j++ {
+				for i := 0; i < s.Local.NX; i++ {
+					key := [3]int{s.OffX + i, s.OffY + j, s.OffZ + k}
+					covered[key]++
+				}
+			}
+		}
+	}
+	if total != g.Cells() {
+		t.Fatalf("total cells %d != global %d", total, g.Cells())
+	}
+	if len(covered) != g.Cells() {
+		t.Fatalf("covered %d distinct cells, want %d", len(covered), g.Cells())
+	}
+	for key, n := range covered {
+		if n != 1 {
+			t.Fatalf("cell %v owned %d times", key, n)
+		}
+	}
+}
+
+func TestOwnerMatchesSubFor(t *testing.T) {
+	g := grid.Dims{NX: 10, NY: 10, NZ: 10}
+	topo := mpi.NewCart(2, 2, 1)
+	d := mustNew(t, g, topo)
+	for gi := 0; gi < g.NX; gi++ {
+		for gj := 0; gj < g.NY; gj++ {
+			for gk := 0; gk < g.NZ; gk++ {
+				r := d.Owner(gi, gj, gk)
+				s := d.SubFor(r)
+				if _, _, _, ok := s.Contains(gi, gj, gk); !ok {
+					t.Fatalf("Owner(%d,%d,%d)=%d but sub does not contain it", gi, gj, gk, r)
+				}
+			}
+		}
+	}
+}
+
+func TestOwnerPanicsOutside(t *testing.T) {
+	d := mustNew(t, grid.Dims{NX: 8, NY: 8, NZ: 8}, mpi.NewCart(2, 1, 1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.Owner(8, 0, 0)
+}
+
+func TestContainsLocalCoords(t *testing.T) {
+	d := mustNew(t, grid.Dims{NX: 8, NY: 8, NZ: 8}, mpi.NewCart(2, 2, 2))
+	s := d.SubFor(d.Topo.Rank(1, 1, 1))
+	li, lj, lk, ok := s.Contains(5, 6, 7)
+	if !ok {
+		t.Fatal("high corner sub should contain (5,6,7)")
+	}
+	if li != 1 || lj != 2 || lk != 3 {
+		t.Fatalf("local coords = %d,%d,%d", li, lj, lk)
+	}
+	if _, _, _, ok := s.Contains(0, 0, 0); ok {
+		t.Fatal("high corner sub should not contain origin")
+	}
+}
+
+func TestBoundaryFaces(t *testing.T) {
+	d := mustNew(t, grid.Dims{NX: 8, NY: 8, NZ: 8}, mpi.NewCart(2, 1, 2))
+	f := d.BoundaryFaces(d.Topo.Rank(0, 0, 0))
+	if !f[grid.X][0] || f[grid.X][1] {
+		t.Errorf("x faces = %v", f[grid.X])
+	}
+	if !f[grid.Y][0] || !f[grid.Y][1] {
+		t.Errorf("y faces = %v (unsplit axis: both boundary)", f[grid.Y])
+	}
+	if !f[grid.Z][0] || f[grid.Z][1] {
+		t.Errorf("z faces = %v", f[grid.Z])
+	}
+}
+
+func TestInteriorCells(t *testing.T) {
+	d := mustNew(t, grid.Dims{NX: 16, NY: 8, NZ: 8}, mpi.NewCart(2, 1, 1))
+	// Each sub is 8x8x8 with one x-neighbor: interior at width 2 is 6x8x8.
+	if got := d.InteriorCells(0, 2); got != 6*8*8 {
+		t.Fatalf("InteriorCells = %d, want %d", got, 6*8*8)
+	}
+	// Width so large nothing remains.
+	if got := d.InteriorCells(0, 10); got != 0 {
+		t.Fatalf("InteriorCells(width=10) = %d, want 0", got)
+	}
+}
+
+func TestSplit1BalancedAndComplete(t *testing.T) {
+	prop := func(n16, p16 uint16) bool {
+		n := int(n16%100) + 1
+		p := int(p16%10) + 1
+		if p > n {
+			p = n
+		}
+		off := 0
+		for c := 0; c < p; c++ {
+			size, o := split1(n, p, c)
+			if o != off {
+				return false
+			}
+			if size != n/p && size != n/p+1 {
+				return false
+			}
+			off += size
+		}
+		return off == n
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBestTopoPrefersCubes(t *testing.T) {
+	g := grid.Dims{NX: 64, NY: 64, NZ: 64}
+	topo := BestTopo(g, 8)
+	if topo.PX != 2 || topo.PY != 2 || topo.PZ != 2 {
+		t.Fatalf("BestTopo(64^3, 8) = %+v, want 2x2x2", topo)
+	}
+	if topo.Size() != 8 {
+		t.Fatalf("size = %d", topo.Size())
+	}
+}
+
+func TestBestTopoRespectsAnisotropy(t *testing.T) {
+	// A pencil-shaped domain should be split along its long axis.
+	g := grid.Dims{NX: 1024, NY: 8, NZ: 8}
+	topo := BestTopo(g, 4)
+	if topo.PX != 4 || topo.PY != 1 || topo.PZ != 1 {
+		t.Fatalf("BestTopo(pencil, 4) = %+v, want 4x1x1", topo)
+	}
+}
+
+func TestBestTopoAlwaysExactSize(t *testing.T) {
+	g := grid.Dims{NX: 100, NY: 100, NZ: 100}
+	for _, n := range []int{1, 2, 3, 5, 6, 7, 12, 24, 36, 60} {
+		topo := BestTopo(g, n)
+		if topo.Size() != n {
+			t.Fatalf("BestTopo size %d != %d", topo.Size(), n)
+		}
+	}
+}

@@ -1,0 +1,287 @@
+// Package grid provides the flat-backed 3D field arrays used by every
+// solver component. Fields are stored in x-fastest order (the analogue of
+// the original Fortran code's column-major layout) with a fixed-width ghost
+// padding on all six faces so that 4th-order stencils can be applied at
+// every interior point without bounds checks.
+package grid
+
+import (
+	"fmt"
+	"math"
+)
+
+// Ghost is the ghost-cell padding width required by the 4th-order
+// staggered-grid stencil (two cells on each side, §III.A of the paper).
+const Ghost = 2
+
+// Dims describes the interior extent of a 3D field.
+type Dims struct {
+	NX, NY, NZ int
+}
+
+// Cells returns the number of interior cells.
+func (d Dims) Cells() int { return d.NX * d.NY * d.NZ }
+
+// Valid reports whether all extents are positive.
+func (d Dims) Valid() bool { return d.NX > 0 && d.NY > 0 && d.NZ > 0 }
+
+func (d Dims) String() string { return fmt.Sprintf("%dx%dx%d", d.NX, d.NY, d.NZ) }
+
+// Field3 is a 3D scalar field of float32 with Ghost-wide padding.
+// Interior indices run i in [0,NX), j in [0,NY), k in [0,NZ); ghost
+// indices extend to [-Ghost, N+Ghost). The backing slice is contiguous
+// with x fastest, then y, then z.
+type Field3 struct {
+	Dims
+	sx, sy, sz int // padded extents
+	data       []float32
+}
+
+// NewField3 allocates a zeroed field with the given interior dims.
+func NewField3(d Dims) *Field3 {
+	if !d.Valid() {
+		panic(fmt.Sprintf("grid: invalid dims %v", d))
+	}
+	sx, sy, sz := d.NX+2*Ghost, d.NY+2*Ghost, d.NZ+2*Ghost
+	return &Field3{
+		Dims: d,
+		sx:   sx, sy: sy, sz: sz,
+		data: make([]float32, sx*sy*sz),
+	}
+}
+
+// Idx returns the flat index of (i,j,k). Indices may range over the ghost
+// region [-Ghost, N+Ghost).
+func (f *Field3) Idx(i, j, k int) int {
+	return ((k+Ghost)*f.sy+(j+Ghost))*f.sx + (i + Ghost)
+}
+
+// At returns the value at (i,j,k).
+func (f *Field3) At(i, j, k int) float32 { return f.data[f.Idx(i, j, k)] }
+
+// Set stores v at (i,j,k).
+func (f *Field3) Set(i, j, k int, v float32) { f.data[f.Idx(i, j, k)] = v }
+
+// Add adds v to the value at (i,j,k).
+func (f *Field3) Add(i, j, k int, v float32) { f.data[f.Idx(i, j, k)] += v }
+
+// Data exposes the raw backing slice (including ghosts). Intended for
+// kernels and checkpointing; the layout is x-fastest with Ghost padding.
+func (f *Field3) Data() []float32 { return f.data }
+
+// Strides returns the flat-index strides (dx, dy, dz) such that
+// Idx(i+1,j,k) = Idx(i,j,k)+dx, etc.
+func (f *Field3) Strides() (dx, dy, dz int) { return 1, f.sx, f.sx * f.sy }
+
+// PaddedDims returns the padded extents of the backing array.
+func (f *Field3) PaddedDims() (sx, sy, sz int) { return f.sx, f.sy, f.sz }
+
+// Fill sets every element, ghosts included, to v.
+func (f *Field3) Fill(v float32) {
+	for i := range f.data {
+		f.data[i] = v
+	}
+}
+
+// Zero resets every element to zero.
+func (f *Field3) Zero() { f.Fill(0) }
+
+// CopyFrom copies the full padded contents of src, which must have
+// identical dims.
+func (f *Field3) CopyFrom(src *Field3) {
+	if f.Dims != src.Dims {
+		panic(fmt.Sprintf("grid: CopyFrom dims mismatch %v != %v", f.Dims, src.Dims))
+	}
+	copy(f.data, src.data)
+}
+
+// Clone returns a deep copy of f.
+func (f *Field3) Clone() *Field3 {
+	g := NewField3(f.Dims)
+	copy(g.data, f.data)
+	return g
+}
+
+// Axis identifies one of the three grid axes.
+type Axis int
+
+const (
+	X Axis = iota
+	Y
+	Z
+)
+
+func (a Axis) String() string {
+	switch a {
+	case X:
+		return "x"
+	case Y:
+		return "y"
+	case Z:
+		return "z"
+	}
+	return fmt.Sprintf("Axis(%d)", int(a))
+}
+
+// Side identifies the low or high face along an axis.
+type Side int
+
+const (
+	Low Side = iota
+	High
+)
+
+func (s Side) String() string {
+	if s == Low {
+		return "low"
+	}
+	return "high"
+}
+
+// planeExtents computes the loop bounds of `count` planes of the interior
+// adjacent to a face (for packing to send) or of the ghost region adjacent
+// to a face (for unpacking after receive).
+func (f *Field3) planeExtents(ax Axis, sd Side, count int, ghost bool) (i0, i1, j0, j1, k0, k1 int) {
+	i0, i1 = 0, f.NX
+	j0, j1 = 0, f.NY
+	k0, k1 = 0, f.NZ
+	set := func(lo, hi *int, n int) {
+		if sd == Low {
+			if ghost {
+				*lo, *hi = -count, 0
+			} else {
+				*lo, *hi = 0, count
+			}
+		} else {
+			if ghost {
+				*lo, *hi = n, n+count
+			} else {
+				*lo, *hi = n-count, n
+			}
+		}
+	}
+	switch ax {
+	case X:
+		set(&i0, &i1, f.NX)
+	case Y:
+		set(&j0, &j1, f.NY)
+	case Z:
+		set(&k0, &k1, f.NZ)
+	}
+	return
+}
+
+// FaceLen returns the number of values in `count` planes of the face
+// perpendicular to ax.
+func (f *Field3) FaceLen(ax Axis, count int) int {
+	switch ax {
+	case X:
+		return count * f.NY * f.NZ
+	case Y:
+		return f.NX * count * f.NZ
+	default:
+		return f.NX * f.NY * count
+	}
+}
+
+// PackFace copies `count` interior planes adjacent to the (ax, sd) face
+// into dst and returns the number of values written. dst must have
+// capacity FaceLen(ax, count).
+func (f *Field3) PackFace(ax Axis, sd Side, count int, dst []float32) int {
+	i0, i1, j0, j1, k0, k1 := f.planeExtents(ax, sd, count, false)
+	return f.copyBlock(i0, i1, j0, j1, k0, k1, dst, true)
+}
+
+// UnpackFace copies src into `count` ghost planes adjacent to the (ax, sd)
+// face and returns the number of values consumed.
+func (f *Field3) UnpackFace(ax Axis, sd Side, count int, src []float32) int {
+	i0, i1, j0, j1, k0, k1 := f.planeExtents(ax, sd, count, true)
+	return f.copyBlock(i0, i1, j0, j1, k0, k1, src, false)
+}
+
+// copyBlock copies the block [i0,i1)x[j0,j1)x[k0,k1) to buf (pack=true)
+// or from buf (pack=false), returning the element count.
+func (f *Field3) copyBlock(i0, i1, j0, j1, k0, k1 int, buf []float32, pack bool) int {
+	n := 0
+	w := i1 - i0
+	for k := k0; k < k1; k++ {
+		for j := j0; j < j1; j++ {
+			base := f.Idx(i0, j, k)
+			row := f.data[base : base+w]
+			if pack {
+				copy(buf[n:n+w], row)
+			} else {
+				copy(row, buf[n:n+w])
+			}
+			n += w
+		}
+	}
+	return n
+}
+
+// ExtractBlock copies the interior block [i0,i1)x[j0,j1)x[k0,k1) into a
+// newly allocated slice in x-fastest order.
+func (f *Field3) ExtractBlock(i0, i1, j0, j1, k0, k1 int) []float32 {
+	out := make([]float32, (i1-i0)*(j1-j0)*(k1-k0))
+	f.copyBlock(i0, i1, j0, j1, k0, k1, out, true)
+	return out
+}
+
+// InsertBlock copies src (x-fastest order) into the block
+// [i0,i1)x[j0,j1)x[k0,k1).
+func (f *Field3) InsertBlock(i0, i1, j0, j1, k0, k1 int, src []float32) {
+	f.copyBlock(i0, i1, j0, j1, k0, k1, src, false)
+}
+
+// MaxAbs returns the maximum absolute interior value.
+func (f *Field3) MaxAbs() float32 {
+	var m float32
+	for k := 0; k < f.NZ; k++ {
+		for j := 0; j < f.NY; j++ {
+			base := f.Idx(0, j, k)
+			for _, v := range f.data[base : base+f.NX] {
+				if v < 0 {
+					v = -v
+				}
+				if v > m {
+					m = v
+				}
+			}
+		}
+	}
+	return m
+}
+
+// SumSq returns the sum of squares of the interior values in float64.
+func (f *Field3) SumSq() float64 {
+	var s float64
+	for k := 0; k < f.NZ; k++ {
+		for j := 0; j < f.NY; j++ {
+			base := f.Idx(0, j, k)
+			for _, v := range f.data[base : base+f.NX] {
+				s += float64(v) * float64(v)
+			}
+		}
+	}
+	return s
+}
+
+// L2Diff returns the root-sum-square difference between the interiors of
+// f and g, which must have identical dims.
+func (f *Field3) L2Diff(g *Field3) float64 {
+	if f.Dims != g.Dims {
+		panic(fmt.Sprintf("grid: L2Diff dims mismatch %v != %v", f.Dims, g.Dims))
+	}
+	var s float64
+	for k := 0; k < f.NZ; k++ {
+		for j := 0; j < f.NY; j++ {
+			a := f.Idx(0, j, k)
+			b := g.Idx(0, j, k)
+			for i := 0; i < f.NX; i++ {
+				d := float64(f.data[a+i]) - float64(g.data[b+i])
+				s += d * d
+			}
+		}
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,336 @@
+package grid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDims(t *testing.T) {
+	d := Dims{3, 4, 5}
+	if got := d.Cells(); got != 60 {
+		t.Fatalf("Cells = %d, want 60", got)
+	}
+	if !d.Valid() {
+		t.Fatal("Valid = false for positive dims")
+	}
+	for _, bad := range []Dims{{0, 1, 1}, {1, -1, 1}, {1, 1, 0}} {
+		if bad.Valid() {
+			t.Errorf("Valid(%v) = true, want false", bad)
+		}
+	}
+	if d.String() != "3x4x5" {
+		t.Errorf("String = %q", d.String())
+	}
+}
+
+func TestNewField3PanicsOnInvalidDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for invalid dims")
+		}
+	}()
+	NewField3(Dims{0, 1, 1})
+}
+
+func TestIdxStrides(t *testing.T) {
+	f := NewField3(Dims{4, 5, 6})
+	dx, dy, dz := f.Strides()
+	base := f.Idx(1, 2, 3)
+	if f.Idx(2, 2, 3)-base != dx {
+		t.Errorf("x stride mismatch")
+	}
+	if f.Idx(1, 3, 3)-base != dy {
+		t.Errorf("y stride mismatch")
+	}
+	if f.Idx(1, 2, 4)-base != dz {
+		t.Errorf("z stride mismatch")
+	}
+	sx, sy, sz := f.PaddedDims()
+	if sx != 4+2*Ghost || sy != 5+2*Ghost || sz != 6+2*Ghost {
+		t.Errorf("PaddedDims = %d,%d,%d", sx, sy, sz)
+	}
+	if len(f.Data()) != sx*sy*sz {
+		t.Errorf("backing size = %d, want %d", len(f.Data()), sx*sy*sz)
+	}
+}
+
+func TestIdxUniqueIncludingGhosts(t *testing.T) {
+	f := NewField3(Dims{3, 4, 2})
+	seen := make(map[int]bool)
+	for k := -Ghost; k < f.NZ+Ghost; k++ {
+		for j := -Ghost; j < f.NY+Ghost; j++ {
+			for i := -Ghost; i < f.NX+Ghost; i++ {
+				idx := f.Idx(i, j, k)
+				if idx < 0 || idx >= len(f.Data()) {
+					t.Fatalf("Idx(%d,%d,%d)=%d out of range", i, j, k, idx)
+				}
+				if seen[idx] {
+					t.Fatalf("Idx(%d,%d,%d)=%d duplicated", i, j, k, idx)
+				}
+				seen[idx] = true
+			}
+		}
+	}
+	if len(seen) != len(f.Data()) {
+		t.Fatalf("covered %d of %d slots", len(seen), len(f.Data()))
+	}
+}
+
+func TestSetAtAdd(t *testing.T) {
+	f := NewField3(Dims{3, 3, 3})
+	f.Set(1, 2, 0, 2.5)
+	if got := f.At(1, 2, 0); got != 2.5 {
+		t.Fatalf("At = %v", got)
+	}
+	f.Add(1, 2, 0, 0.5)
+	if got := f.At(1, 2, 0); got != 3.0 {
+		t.Fatalf("after Add, At = %v", got)
+	}
+	// Ghost cells are addressable.
+	f.Set(-1, -2, 4, 7)
+	if got := f.At(-1, -2, 4); got != 7 {
+		t.Fatalf("ghost At = %v", got)
+	}
+}
+
+func TestFillZeroClone(t *testing.T) {
+	f := NewField3(Dims{2, 2, 2})
+	f.Fill(3)
+	for _, v := range f.Data() {
+		if v != 3 {
+			t.Fatal("Fill did not set all values")
+		}
+	}
+	g := f.Clone()
+	g.Set(0, 0, 0, -1)
+	if f.At(0, 0, 0) != 3 {
+		t.Fatal("Clone is not a deep copy")
+	}
+	f.Zero()
+	if f.MaxAbs() != 0 {
+		t.Fatal("Zero did not clear field")
+	}
+}
+
+func TestCopyFromMismatchPanics(t *testing.T) {
+	f := NewField3(Dims{2, 2, 2})
+	g := NewField3(Dims{2, 2, 3})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for dims mismatch")
+		}
+	}()
+	f.CopyFrom(g)
+}
+
+// fillPattern assigns a unique deterministic value to every interior and
+// ghost location.
+func fillPattern(f *Field3) {
+	for k := -Ghost; k < f.NZ+Ghost; k++ {
+		for j := -Ghost; j < f.NY+Ghost; j++ {
+			for i := -Ghost; i < f.NX+Ghost; i++ {
+				f.Set(i, j, k, float32(f.Idx(i, j, k)))
+			}
+		}
+	}
+}
+
+func TestPackUnpackFaceRoundTrip(t *testing.T) {
+	// The pack/unpack pair is the heart of halo exchange: packing `count`
+	// interior planes on one side and unpacking them into the ghost planes
+	// of a neighbor must move exactly the right values.
+	src := NewField3(Dims{4, 5, 6})
+	fillPattern(src)
+	for _, ax := range []Axis{X, Y, Z} {
+		for _, sd := range []Side{Low, High} {
+			for count := 1; count <= Ghost; count++ {
+				dst := NewField3(src.Dims)
+				buf := make([]float32, src.FaceLen(ax, count))
+				n := src.PackFace(ax, sd, count, buf)
+				if n != len(buf) {
+					t.Fatalf("%v/%v: packed %d, want %d", ax, sd, n, len(buf))
+				}
+				// Unpack into the *opposite* side's ghosts, as a real
+				// exchange would.
+				opp := High
+				if sd == High {
+					opp = Low
+				}
+				m := dst.UnpackFace(ax, opp, count, buf)
+				if m != len(buf) {
+					t.Fatalf("%v/%v: unpacked %d, want %d", ax, sd, m, len(buf))
+				}
+				// Verify a representative value: ghost plane of dst equals
+				// interior plane of src.
+				checkFaceMatch(t, src, dst, ax, sd, count)
+			}
+		}
+	}
+}
+
+func checkFaceMatch(t *testing.T, src, dst *Field3, ax Axis, sd Side, count int) {
+	t.Helper()
+	n := dims(src, ax)
+	for c := 0; c < count; c++ {
+		// Packed plane c on side sd of src corresponds to ghost plane c on
+		// the opposite side of dst (as in a real neighbor exchange).
+		var sp, dp int
+		if sd == Low {
+			sp = c     // low interior planes [0,count)
+			dp = n + c // high ghost planes [n,n+count)
+		} else {
+			sp = n - count + c // high interior planes [n-count,n)
+			dp = -count + c    // low ghost planes [-count,0)
+		}
+		at := func(f *Field3, p int) float32 {
+			switch ax {
+			case X:
+				return f.At(p, 1, 1)
+			case Y:
+				return f.At(1, p, 1)
+			default:
+				return f.At(1, 1, p)
+			}
+		}
+		if got, want := at(dst, dp), at(src, sp); got != want {
+			t.Fatalf("%v/%v plane %d: ghost=%v, want interior=%v", ax, sd, c, got, want)
+		}
+	}
+}
+
+func dims(f *Field3, ax Axis) int {
+	switch ax {
+	case X:
+		return f.NX
+	case Y:
+		return f.NY
+	default:
+		return f.NZ
+	}
+}
+
+func TestExtractInsertBlockRoundTrip(t *testing.T) {
+	f := NewField3(Dims{5, 4, 3})
+	fillPattern(f)
+	blk := f.ExtractBlock(1, 4, 0, 2, 1, 3)
+	if len(blk) != 3*2*2 {
+		t.Fatalf("block len = %d", len(blk))
+	}
+	g := NewField3(f.Dims)
+	g.InsertBlock(1, 4, 0, 2, 1, 3, blk)
+	for k := 1; k < 3; k++ {
+		for j := 0; j < 2; j++ {
+			for i := 1; i < 4; i++ {
+				if g.At(i, j, k) != f.At(i, j, k) {
+					t.Fatalf("block mismatch at %d,%d,%d", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestMaxAbsIgnoresGhosts(t *testing.T) {
+	f := NewField3(Dims{3, 3, 3})
+	f.Set(-1, 0, 0, 100) // ghost
+	f.Set(1, 1, 1, -5)
+	if got := f.MaxAbs(); got != 5 {
+		t.Fatalf("MaxAbs = %v, want 5 (ghosts excluded)", got)
+	}
+}
+
+func TestSumSqAndL2Diff(t *testing.T) {
+	f := NewField3(Dims{2, 2, 1})
+	g := NewField3(Dims{2, 2, 1})
+	f.Set(0, 0, 0, 3)
+	f.Set(1, 1, 0, 4)
+	if got := f.SumSq(); got != 25 {
+		t.Fatalf("SumSq = %v, want 25", got)
+	}
+	if got := f.L2Diff(g); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("L2Diff = %v, want 5", got)
+	}
+	if got := f.L2Diff(f); got != 0 {
+		t.Fatalf("self L2Diff = %v, want 0", got)
+	}
+}
+
+func TestL2DiffMismatchPanics(t *testing.T) {
+	f := NewField3(Dims{2, 2, 2})
+	g := NewField3(Dims{3, 2, 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f.L2Diff(g)
+}
+
+// Property: packing a face and unpacking it into the matching ghost region
+// of a copy reproduces exactly the packed values for random dims.
+func TestQuickPackUnpackConsistency(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 30}
+	prop := func(seed int64, nx8, ny8, nz8 uint8, axv uint8, sdv bool, cnt8 uint8) bool {
+		nx := int(nx8%6) + 1
+		ny := int(ny8%6) + 1
+		nz := int(nz8%6) + 1
+		ax := Axis(axv % 3)
+		sd := Low
+		if sdv {
+			sd = High
+		}
+		count := int(cnt8%Ghost) + 1
+		f := NewField3(Dims{nx, ny, nz})
+		rng := rand.New(rand.NewSource(seed))
+		for idx := range f.Data() {
+			f.Data()[idx] = rng.Float32()
+		}
+		buf := make([]float32, f.FaceLen(ax, count))
+		if n := f.PackFace(ax, sd, count, buf); n != len(buf) {
+			return false
+		}
+		g := NewField3(f.Dims)
+		if n := g.UnpackFace(ax, sd, count, buf); n != len(buf) {
+			return false
+		}
+		buf2 := make([]float32, len(buf))
+		// Re-extract from the ghost region of g: it must equal buf.
+		i0, i1, j0, j1, k0, k1 := g.planeExtents(ax, sd, count, true)
+		g.copyBlock(i0, i1, j0, j1, k0, k1, buf2, true)
+		for idx := range buf {
+			if buf[idx] != buf2[idx] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaceLen(t *testing.T) {
+	f := NewField3(Dims{3, 4, 5})
+	if got := f.FaceLen(X, 2); got != 2*4*5 {
+		t.Errorf("FaceLen(X,2) = %d", got)
+	}
+	if got := f.FaceLen(Y, 1); got != 3*1*5 {
+		t.Errorf("FaceLen(Y,1) = %d", got)
+	}
+	if got := f.FaceLen(Z, 2); got != 3*4*2 {
+		t.Errorf("FaceLen(Z,2) = %d", got)
+	}
+}
+
+func TestAxisSideStrings(t *testing.T) {
+	if X.String() != "x" || Y.String() != "y" || Z.String() != "z" {
+		t.Error("axis strings wrong")
+	}
+	if Axis(9).String() == "" {
+		t.Error("unknown axis string empty")
+	}
+	if Low.String() != "low" || High.String() != "high" {
+		t.Error("side strings wrong")
+	}
+}

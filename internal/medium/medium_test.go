@@ -1,0 +1,185 @@
+package medium
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cvm"
+	"repro/internal/decomp"
+	"repro/internal/grid"
+	"repro/internal/mpi"
+)
+
+func singleRank(t *testing.T, d grid.Dims) (decomp.Decomp, decomp.Sub) {
+	t.Helper()
+	dc, err := decomp.New(d, mpi.NewCart(1, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dc, dc.SubFor(0)
+}
+
+func TestFromCVMHomogeneous(t *testing.T) {
+	mat := cvm.Material{Vp: 6000, Vs: 3464.1016, Rho: 2700}
+	q := cvm.Homogeneous(mat)
+	d := grid.Dims{NX: 8, NY: 8, NZ: 8}
+	dc, sub := singleRank(t, d)
+	m := FromCVM(q, dc, sub, 100)
+
+	wantMu := mat.Rho * mat.Vs * mat.Vs
+	wantLam := mat.Rho*mat.Vp*mat.Vp - 2*wantMu
+	if rel(float64(m.Mu.At(3, 3, 3)), wantMu) > 1e-5 {
+		t.Errorf("mu = %g, want %g", m.Mu.At(3, 3, 3), wantMu)
+	}
+	if rel(float64(m.Lam.At(3, 3, 3)), wantLam) > 1e-4 {
+		t.Errorf("lam = %g, want %g", m.Lam.At(3, 3, 3), wantLam)
+	}
+	// In a homogeneous medium all staggered averages equal node values.
+	if rel(float64(m.MuXY.At(2, 2, 2)), wantMu) > 1e-5 {
+		t.Errorf("muXY = %g, want %g", m.MuXY.At(2, 2, 2), wantMu)
+	}
+	if rel(float64(m.BX.At(2, 2, 2)), 1/mat.Rho) > 1e-5 {
+		t.Errorf("bx = %g, want %g", m.BX.At(2, 2, 2), 1/mat.Rho)
+	}
+	if rel(float64(m.Lam2Mu.At(1, 1, 1)), wantLam+2*wantMu) > 1e-5 {
+		t.Errorf("lam2mu wrong")
+	}
+	if m.MinVs != mat.Vs || m.MaxVp != mat.Vp {
+		t.Errorf("extremes = %g/%g", m.MinVs, m.MaxVp)
+	}
+}
+
+func TestReciprocalsMatch(t *testing.T) {
+	q := cvm.HardRock()
+	d := grid.Dims{NX: 6, NY: 6, NZ: 12}
+	dc, sub := singleRank(t, d)
+	m := FromCVM(q, dc, sub, 500)
+	for k := 0; k < d.NZ; k++ {
+		lam := m.Lam.At(3, 3, k)
+		if rel(float64(m.LamI.At(3, 3, k)), 1/float64(lam)) > 1e-5 {
+			t.Fatalf("LamI mismatch at k=%d", k)
+		}
+		mu := m.Mu.At(3, 3, k)
+		if rel(float64(m.MuI.At(3, 3, k)), 1/float64(mu)) > 1e-5 {
+			t.Fatalf("MuI mismatch at k=%d", k)
+		}
+	}
+}
+
+func TestHarmonicMeanBetweenLayers(t *testing.T) {
+	// Across a layer interface, harmonic mean must lie between the two mu
+	// values and below their arithmetic mean.
+	q := cvm.HardRock()
+	d := grid.Dims{NX: 4, NY: 4, NZ: 40}
+	dc, sub := singleRank(t, d)
+	m := FromCVM(q, dc, sub, 100) // layer boundary at z=1000m -> k=10
+	k := 9
+	a := float64(m.Mu.At(2, 2, k))
+	b := float64(m.Mu.At(2, 2, k+1))
+	hm := float64(m.MuYZ.At(2, 2, k)) // spans k and k+1
+	lo, hi := math.Min(a, b), math.Max(a, b)
+	if hm < lo || hm > hi {
+		t.Fatalf("harmonic mean %g outside [%g,%g]", hm, lo, hi)
+	}
+	am := (a + b) / 2
+	if hm >= am {
+		t.Fatalf("harmonic mean %g not below arithmetic %g", hm, am)
+	}
+}
+
+func TestGhostRegionFilled(t *testing.T) {
+	q := cvm.HardRock()
+	d := grid.Dims{NX: 6, NY: 6, NZ: 6}
+	dc, sub := singleRank(t, d)
+	m := FromCVM(q, dc, sub, 100)
+	// Ghost nodes must carry clamped (surface layer) values, not zeros.
+	if m.Rho.At(-2, -2, -2) <= 0 {
+		t.Fatal("ghost density not filled")
+	}
+	if m.Rho.At(7, 7, 7) <= 0 {
+		t.Fatal("high ghost density not filled")
+	}
+}
+
+func TestMultiRankConsistentWithGlobal(t *testing.T) {
+	// The same global node must get identical properties regardless of
+	// which rank extracts it (CVM fill is a pure function of coordinates).
+	q := cvm.SoCal(8000, 8000, 8000, 400)
+	g := grid.Dims{NX: 16, NY: 8, NZ: 8}
+	topo := mpi.NewCart(2, 1, 1)
+	dc, err := decomp.New(g, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := 500.0
+	m0 := FromCVM(q, dc, dc.SubFor(0), h)
+	m1 := FromCVM(q, dc, dc.SubFor(1), h)
+	s1 := dc.SubFor(1)
+	// Global node (8+i, j, k) is local (i,j,k) on rank 1 and ghost/interior
+	// overlap is testable at the seam: rank 0 ghost i=8 == rank 1 interior i=0.
+	for k := 0; k < 8; k++ {
+		for j := 0; j < 8; j++ {
+			if m0.Rho.At(8, j, k) != m1.Rho.At(8-s1.OffX, j, k) {
+				t.Fatalf("seam mismatch at j=%d k=%d", j, k)
+			}
+		}
+	}
+}
+
+func TestFromArraysRoundTrip(t *testing.T) {
+	d := grid.Dims{NX: 4, NY: 4, NZ: 4}
+	f := grid.NewField3(d)
+	n := len(f.Data())
+	vp := make([]float32, n)
+	vs := make([]float32, n)
+	rho := make([]float32, n)
+	for i := range vp {
+		vp[i], vs[i], rho[i] = 6000, 3464, 2700
+	}
+	m, err := FromArrays(d, 100, vp, vs, rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel(float64(m.Mu.At(1, 1, 1)), 2700*3464*3464) > 1e-5 {
+		t.Fatalf("mu = %g", m.Mu.At(1, 1, 1))
+	}
+	if m.MaxVp != 6000 {
+		t.Fatalf("MaxVp = %g", m.MaxVp)
+	}
+}
+
+func TestFromArraysLengthMismatch(t *testing.T) {
+	if _, err := FromArrays(grid.Dims{NX: 4, NY: 4, NZ: 4}, 100, make([]float32, 3), make([]float32, 3), make([]float32, 3)); err == nil {
+		t.Fatal("expected error for short arrays")
+	}
+}
+
+func TestStableDt(t *testing.T) {
+	q := cvm.Homogeneous(cvm.Material{Vp: 6000, Vs: 3464, Rho: 2700})
+	dc, sub := singleRank(t, grid.Dims{NX: 4, NY: 4, NZ: 4})
+	m := FromCVM(q, dc, sub, 100)
+	dt := m.StableDt(1.0)
+	want := (6.0 / 7.0) * 100 / (math.Sqrt(3) * 6000)
+	if rel(dt, want) > 1e-12 {
+		t.Fatalf("StableDt = %g, want %g", dt, want)
+	}
+	if m.StableDt(0.5) >= dt {
+		t.Fatal("safety factor not applied")
+	}
+}
+
+func TestPointsPerWavelengthM8(t *testing.T) {
+	// The M8 discretization: 40 m spacing, 400 m/s floor, 2 Hz -> exactly
+	// 5 points per minimum wavelength.
+	m := &Medium{H: 40, MinVs: 400}
+	if got := m.PointsPerWavelength(2.0); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("PPW = %g, want 5", got)
+	}
+}
+
+func rel(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}

@@ -1,0 +1,89 @@
+// Package meshgen implements CVM2MESH (§III.B): parallel extraction of
+// material properties from a community velocity model onto a uniform mesh
+// file. The mesh region is partitioned into z slices; each core queries
+// the CVM for its slices only and writes them into the single global mesh
+// file at computed offsets via MPI-IO — the scheme that cut extraction
+// from hundreds of hours to minutes.
+package meshgen
+
+import (
+	"fmt"
+
+	"repro/internal/cvm"
+	"repro/internal/grid"
+	"repro/internal/mpi"
+	"repro/internal/mpiio"
+	"repro/internal/pfs"
+)
+
+// RecBytes is the mesh record size: three float32 (Vp, Vs, rho) per point.
+const RecBytes = 12
+
+// Spec describes a mesh extraction job.
+type Spec struct {
+	Path   string // mesh file path on the simulated PFS
+	Global grid.Dims
+	H      float64 // grid spacing, m
+	Cores  int     // extraction cores (z-slice parallelism)
+}
+
+// Stats reports the extraction outcome.
+type Stats struct {
+	Points     int
+	Bytes      int
+	WritePhase pfs.PhaseStats
+}
+
+// Generate extracts the mesh in parallel and writes the global mesh file.
+func Generate(fsys *pfs.FS, q cvm.Querier, sp Spec) (Stats, error) {
+	if sp.Cores <= 0 || sp.Cores > sp.Global.NZ {
+		return Stats{}, fmt.Errorf("meshgen: cores %d must be in [1, NZ=%d]", sp.Cores, sp.Global.NZ)
+	}
+	if !sp.Global.Valid() || sp.H <= 0 {
+		return Stats{}, fmt.Errorf("meshgen: invalid spec %+v", sp)
+	}
+	planeBytes := sp.Global.NX * sp.Global.NY * RecBytes
+	views := make([][]mpiio.Segment, sp.Cores)
+
+	world := mpi.NewWorld(sp.Cores)
+	world.Run(func(c *mpi.Comm) {
+		rank := c.Rank()
+		var view []mpiio.Segment
+		// Round-robin z-slice assignment.
+		for k := rank; k < sp.Global.NZ; k += sp.Cores {
+			vals := make([]float32, sp.Global.NX*sp.Global.NY*3)
+			idx := 0
+			for j := 0; j < sp.Global.NY; j++ {
+				for i := 0; i < sp.Global.NX; i++ {
+					m := q.Query(float64(i)*sp.H, float64(j)*sp.H, float64(k)*sp.H)
+					vals[idx] = float32(m.Vp)
+					vals[idx+1] = float32(m.Vs)
+					vals[idx+2] = float32(m.Rho)
+					idx += 3
+				}
+			}
+			// Seek to the slice offset and write — one contiguous chunk.
+			fsys.WriteAt(sp.Path, k*planeBytes, mpiio.PutFloat32s(vals))
+			view = append(view, mpiio.Segment{Off: k * planeBytes, Len: planeBytes})
+		}
+		views[rank] = view
+	})
+
+	st := Stats{
+		Points: sp.Global.Cells(),
+		Bytes:  sp.Global.Cells() * RecBytes,
+	}
+	st.WritePhase = fsys.SimulatePhase(mpiio.PhaseOps(sp.Path, views, true))
+	return st, nil
+}
+
+// ReadPoint fetches one mesh record, for verification.
+func ReadPoint(fsys *pfs.FS, path string, g grid.Dims, i, j, k int) (cvm.Material, error) {
+	off := ((k*g.NY+j)*g.NX + i) * RecBytes
+	buf := make([]byte, RecBytes)
+	if err := fsys.ReadAt(path, off, buf); err != nil {
+		return cvm.Material{}, err
+	}
+	v := mpiio.GetFloat32s(buf)
+	return cvm.Material{Vp: float64(v[0]), Vs: float64(v[1]), Rho: float64(v[2])}, nil
+}

@@ -1,0 +1,53 @@
+package meshgen
+
+import (
+	"testing"
+
+	"repro/internal/cvm"
+	"repro/internal/grid"
+	"repro/internal/pfs"
+)
+
+func TestGenerateCoreCountInvariance(t *testing.T) {
+	// The mesh file must be identical no matter how many extraction cores
+	// are used (the z-slice parallelization is pure decomposition).
+	g := grid.Dims{NX: 6, NY: 5, NZ: 8}
+	q := cvm.SoCal(3000, 2500, 4000, 400)
+	var ref []byte
+	for _, cores := range []int{1, 2, 4, 8} {
+		fsys := pfs.New(pfs.Config{OSTs: 4, OSTBandwidth: 1e8, MDSLatency: 1e-4, MDSConcurrent: 8})
+		st, err := Generate(fsys, q, Spec{Path: "mesh", Global: g, H: 500, Cores: cores})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Points != g.Cells() || st.Bytes != g.Cells()*RecBytes {
+			t.Fatalf("stats %+v", st)
+		}
+		if st.WritePhase.Bytes == 0 {
+			t.Error("write phase not priced")
+		}
+		raw := make([]byte, fsys.Size("mesh"))
+		if err := fsys.ReadAt("mesh", 0, raw); err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = raw
+			continue
+		}
+		if len(raw) != len(ref) {
+			t.Fatalf("cores=%d: size differs", cores)
+		}
+		for i := range raw {
+			if raw[i] != ref[i] {
+				t.Fatalf("cores=%d: byte %d differs", cores, i)
+			}
+		}
+	}
+}
+
+func TestReadPointMissing(t *testing.T) {
+	fsys := pfs.New(pfs.Config{OSTs: 4, OSTBandwidth: 1e8, MDSLatency: 1e-4, MDSConcurrent: 8})
+	if _, err := ReadPoint(fsys, "none", grid.Dims{NX: 2, NY: 2, NZ: 2}, 0, 0, 0); err == nil {
+		t.Fatal("missing mesh accepted")
+	}
+}

@@ -1,0 +1,258 @@
+// Package meshpart implements PetaMeshP (§III.C): partitioning the single
+// global mesh file onto the solver ranks. Both of the paper's I/O models
+// are provided:
+//
+//   - Serial pre-partitioning: per-rank files written once before the run
+//     (excellent locality; risks metadata storms at high rank counts);
+//   - On-demand MPI-IO partitioning: a subset of "reader" ranks read
+//     highly contiguous XY-plane chunks and redistribute sub-rectangles to
+//     the "receiver" ranks with point-to-point messages, each receiver
+//     assembling its padded local cube.
+//
+// Each rank's product is the ghost-padded (vp, vs, rho) arrays its solver
+// needs, with edge clamping identical to direct CVM extraction, so all
+// three paths (direct, pre-partitioned, on-demand) agree exactly.
+package meshpart
+
+import (
+	"fmt"
+
+	"repro/internal/decomp"
+	"repro/internal/grid"
+	"repro/internal/meshgen"
+	"repro/internal/mpi"
+	"repro/internal/mpiio"
+	"repro/internal/pfs"
+)
+
+// SubMesh is one rank's ghost-padded material arrays, in grid.Field3
+// padded layout (x-fastest over the padded extents).
+type SubMesh struct {
+	Rank        int
+	Dims        grid.Dims // interior dims
+	VP, VS, Rho []float32 // padded arrays
+}
+
+// paddedLen returns the padded array length for interior dims d.
+func paddedLen(d grid.Dims) int {
+	g := grid.Ghost
+	return (d.NX + 2*g) * (d.NY + 2*g) * (d.NZ + 2*g)
+}
+
+// clamp returns the in-range global index for a padded (possibly ghost)
+// index — replicating the coordinate clamping of direct CVM extraction.
+func clamp(g, n int) int {
+	if g < 0 {
+		return 0
+	}
+	if g >= n {
+		return n - 1
+	}
+	return g
+}
+
+// extract assembles the padded sub-mesh for sub from a plane lookup
+// function returning the (vp,vs,rho) record at a global point.
+func extract(global grid.Dims, sub decomp.Sub, rec func(gi, gj, gk int) (float32, float32, float32)) SubMesh {
+	g := grid.Ghost
+	d := sub.Local
+	sm := SubMesh{
+		Rank: sub.Rank, Dims: d,
+		VP: make([]float32, paddedLen(d)), VS: make([]float32, paddedLen(d)), Rho: make([]float32, paddedLen(d)),
+	}
+	sx := d.NX + 2*g
+	sy := d.NY + 2*g
+	n := 0
+	for k := -g; k < d.NZ+g; k++ {
+		gk := clamp(sub.OffZ+k, global.NZ)
+		for j := -g; j < d.NY+g; j++ {
+			gj := clamp(sub.OffY+j, global.NY)
+			for i := -g; i < d.NX+g; i++ {
+				gi := clamp(sub.OffX+i, global.NX)
+				vp, vs, rho := rec(gi, gj, gk)
+				sm.VP[n], sm.VS[n], sm.Rho[n] = vp, vs, rho
+				n++
+			}
+		}
+	}
+	_ = sx
+	_ = sy
+	return sm
+}
+
+// PartFileName is the per-rank pre-partitioned file naming scheme.
+func PartFileName(dir string, rank int) string {
+	return fmt.Sprintf("%s/submesh.%06d", dir, rank)
+}
+
+// PrePartition reads the global mesh once and writes one pre-partitioned
+// padded sub-mesh file per rank (I/O model 1).
+func PrePartition(fsys *pfs.FS, meshPath, outDir string, global grid.Dims, dc decomp.Decomp) (pfs.PhaseStats, error) {
+	nranks := dc.Topo.Size()
+	// Read the full mesh once (the serial partitioner).
+	segs := []mpiio.Segment{{Off: 0, Len: global.Cells() * meshgen.RecBytes}}
+	raw, err := mpiio.ReadIndexed(fsys, meshPath, segs)
+	if err != nil {
+		return pfs.PhaseStats{}, err
+	}
+	vals := mpiio.GetFloat32s(raw)
+	rec := func(gi, gj, gk int) (float32, float32, float32) {
+		base := ((gk*global.NY+gj)*global.NX + gi) * 3
+		return vals[base], vals[base+1], vals[base+2]
+	}
+	var ops []pfs.Op
+	for r := 0; r < nranks; r++ {
+		sm := extract(global, dc.SubFor(r), rec)
+		buf := make([]float32, 0, 3*len(sm.VP))
+		buf = append(buf, sm.VP...)
+		buf = append(buf, sm.VS...)
+		buf = append(buf, sm.Rho...)
+		path := PartFileName(outDir, r)
+		fsys.WriteAt(path, 0, mpiio.PutFloat32s(buf))
+		ops = append(ops, pfs.Op{Path: path, Bytes: 4 * len(buf), Write: true, Open: true})
+	}
+	return fsys.SimulatePhase(ops), nil
+}
+
+// ReadPrePartitioned loads one rank's pre-partitioned sub-mesh (the
+// fast-path solver input; M8 read 223,074 of these in 4 minutes with open
+// throttling).
+func ReadPrePartitioned(fsys *pfs.FS, dir string, global grid.Dims, dc decomp.Decomp, rank int) (SubMesh, error) {
+	sub := dc.SubFor(rank)
+	n := paddedLen(sub.Local)
+	raw := make([]byte, 3*n*4)
+	if err := fsys.ReadAt(PartFileName(dir, rank), 0, raw); err != nil {
+		return SubMesh{}, err
+	}
+	vals := mpiio.GetFloat32s(raw)
+	return SubMesh{
+		Rank: rank, Dims: sub.Local,
+		VP: vals[:n], VS: vals[n : 2*n], Rho: vals[2*n : 3*n],
+	}, nil
+}
+
+// OnDemand performs the reader/receiver MPI-IO partitioning (I/O model 2):
+// the first nReaders ranks read whole XY planes (optionally split in y by
+// subdivision factor ySplit >= 1) and send each receiver the sub-rectangle
+// it needs; every rank returns its padded sub-mesh. The returned phase
+// stats price the reader I/O.
+func OnDemand(fsys *pfs.FS, meshPath string, global grid.Dims, dc decomp.Decomp, nReaders, ySplit int) ([]SubMesh, pfs.PhaseStats, error) {
+	nranks := dc.Topo.Size()
+	if nReaders <= 0 || nReaders > nranks {
+		return nil, pfs.PhaseStats{}, fmt.Errorf("meshpart: nReaders %d outside [1,%d]", nReaders, nranks)
+	}
+	if ySplit <= 0 {
+		ySplit = 1
+	}
+	planeBytes := global.NX * global.NY * meshgen.RecBytes
+	out := make([]SubMesh, nranks)
+	views := make([][]mpiio.Segment, nReaders)
+	var runErr error
+
+	world := mpi.NewWorld(nranks)
+	world.Run(func(c *mpi.Comm) {
+		rank := c.Rank()
+		sub := dc.SubFor(rank)
+		g := grid.Ghost
+
+		// Receiver bookkeeping: global plane range needed (clamped).
+		k0 := clamp(sub.OffZ-g, global.NZ)
+		k1 := clamp(sub.OffZ+sub.Local.NZ+g-1, global.NZ)
+		j0 := clamp(sub.OffY-g, global.NY)
+		j1 := clamp(sub.OffY+sub.Local.NY+g-1, global.NY)
+		i0 := clamp(sub.OffX-g, global.NX)
+		i1 := clamp(sub.OffX+sub.Local.NX+g-1, global.NX)
+
+		// Phase 1: readers read their planes and push sub-rectangles.
+		if rank < nReaders {
+			var view []mpiio.Segment
+			for k := rank; k < global.NZ; k += nReaders {
+				for ys := 0; ys < ySplit; ys++ {
+					yb := ys * global.NY / ySplit
+					ye := (ys + 1) * global.NY / ySplit
+					segLen := (ye - yb) * global.NX * meshgen.RecBytes
+					segOff := k*planeBytes + yb*global.NX*meshgen.RecBytes
+					raw, err := mpiio.ReadIndexed(fsys, meshPath, []mpiio.Segment{{Off: segOff, Len: segLen}})
+					if err != nil {
+						runErr = err
+						return
+					}
+					vals := mpiio.GetFloat32s(raw)
+					view = append(view, mpiio.Segment{Off: segOff, Len: segLen})
+					// Distribute to every receiver whose padded range needs
+					// rows in [yb, ye) of plane k.
+					for r := 0; r < nranks; r++ {
+						rs := dc.SubFor(r)
+						rk0 := clamp(rs.OffZ-g, global.NZ)
+						rk1 := clamp(rs.OffZ+rs.Local.NZ+g-1, global.NZ)
+						if k < rk0 || k > rk1 {
+							continue
+						}
+						rj0 := clamp(rs.OffY-g, global.NY)
+						rj1 := clamp(rs.OffY+rs.Local.NY+g-1, global.NY)
+						ri0 := clamp(rs.OffX-g, global.NX)
+						ri1 := clamp(rs.OffX+rs.Local.NX+g-1, global.NX)
+						ly0, ly1 := max(rj0, yb), min(rj1, ye-1)
+						if ly0 > ly1 {
+							continue
+						}
+						// Payload: header + the needed rectangle.
+						rect := make([]float32, 0, 6+(ly1-ly0+1)*(ri1-ri0+1)*3)
+						rect = append(rect, float32(k), float32(ly0), float32(ly1), float32(ri0), float32(ri1), 0)
+						for j := ly0; j <= ly1; j++ {
+							rowBase := ((j - yb) * global.NX * 3)
+							for i := ri0; i <= ri1; i++ {
+								b := rowBase + i*3
+								rect = append(rect, vals[b], vals[b+1], vals[b+2])
+							}
+						}
+						c.Send(r, 7000+k*ySplit+ys, rect)
+					}
+				}
+			}
+			views[rank] = view
+		}
+
+		// Phase 2: every rank receives its rectangles and assembles the
+		// padded cube.
+		type plane struct {
+			j0, j1, i0, i1 int
+			vals           []float32
+		}
+		need := map[int][]plane{} // global k -> rectangles
+		expected := 0
+		for k := k0; k <= k1; k++ {
+			for ys := 0; ys < ySplit; ys++ {
+				yb := ys * global.NY / ySplit
+				ye := (ys + 1) * global.NY / ySplit
+				if max(j0, yb) <= min(j1, ye-1) {
+					expected++
+				}
+			}
+		}
+		buf := make([]float32, 6+(j1-j0+1)*(i1-i0+1)*3+16)
+		for e := 0; e < expected; e++ {
+			st := c.Recv(buf, mpi.AnySource, mpi.AnyTag)
+			v := buf[:st.Count]
+			k := int(v[0])
+			p := plane{j0: int(v[1]), j1: int(v[2]), i0: int(v[3]), i1: int(v[4])}
+			p.vals = append([]float32(nil), v[6:]...)
+			need[k] = append(need[k], p)
+		}
+		rec := func(gi, gj, gk int) (float32, float32, float32) {
+			for _, p := range need[gk] {
+				if gj >= p.j0 && gj <= p.j1 && gi >= p.i0 && gi <= p.i1 {
+					b := ((gj-p.j0)*(p.i1-p.i0+1) + (gi - p.i0)) * 3
+					return p.vals[b], p.vals[b+1], p.vals[b+2]
+				}
+			}
+			panic(fmt.Sprintf("meshpart: rank %d missing record (%d,%d,%d)", rank, gi, gj, gk))
+		}
+		out[rank] = extract(global, sub, rec)
+	})
+	if runErr != nil {
+		return nil, pfs.PhaseStats{}, runErr
+	}
+	readStats := fsys.SimulatePhase(mpiio.PhaseOps(meshPath, views, false))
+	return out, readStats, nil
+}

@@ -1,0 +1,152 @@
+package meshpart
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cvm"
+	"repro/internal/decomp"
+	"repro/internal/grid"
+	"repro/internal/medium"
+	"repro/internal/meshgen"
+	"repro/internal/mpi"
+	"repro/internal/pfs"
+)
+
+func setup(t *testing.T, g grid.Dims, topo mpi.Cart) (*pfs.FS, decomp.Decomp, cvm.Querier, float64) {
+	t.Helper()
+	fsys := pfs.New(pfs.Config{OSTs: 16, OSTBandwidth: 100e6, MDSLatency: 1e-4, MDSConcurrent: 8})
+	dc, err := decomp.New(g, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Model extent ends at the last grid node so that coordinate clamping
+	// (direct CVM extraction) and index clamping (partitioned files) see
+	// the same edge values.
+	q := cvm.SoCal(float64(g.NX-1)*500, float64(g.NY-1)*500, float64(g.NZ-1)*500, 400)
+	if _, err := meshgen.Generate(fsys, q, meshgen.Spec{
+		Path: "in/mesh.bin", Global: g, H: 500, Cores: 3,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return fsys, dc, q, 500
+}
+
+func TestMeshgenMatchesCVM(t *testing.T) {
+	g := grid.Dims{NX: 10, NY: 8, NZ: 6}
+	fsys, _, q, h := setup(t, g, mpi.NewCart(1, 1, 1))
+	for _, p := range [][3]int{{0, 0, 0}, {9, 7, 5}, {4, 3, 2}} {
+		got, err := meshgen.ReadPoint(fsys, "in/mesh.bin", g, p[0], p[1], p[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := q.Query(float64(p[0])*h, float64(p[1])*h, float64(p[2])*h)
+		if math.Abs(got.Vp-want.Vp) > 0.5 || math.Abs(got.Vs-want.Vs) > 0.5 {
+			t.Fatalf("point %v: got %+v want %+v", p, got, want)
+		}
+	}
+}
+
+func TestMeshgenValidation(t *testing.T) {
+	fsys := pfs.New(pfs.Config{OSTs: 4, OSTBandwidth: 1e8, MDSLatency: 1e-4, MDSConcurrent: 8})
+	q := cvm.HardRock()
+	if _, err := meshgen.Generate(fsys, q, meshgen.Spec{Path: "m", Global: grid.Dims{NX: 4, NY: 4, NZ: 4}, H: 100, Cores: 9}); err == nil {
+		t.Error("cores > NZ accepted")
+	}
+	if _, err := meshgen.Generate(fsys, q, meshgen.Spec{Path: "m", Global: grid.Dims{NX: 4, NY: 4, NZ: 4}, H: 0, Cores: 2}); err == nil {
+		t.Error("h=0 accepted")
+	}
+}
+
+func TestPrePartitionRoundTrip(t *testing.T) {
+	g := grid.Dims{NX: 12, NY: 10, NZ: 8}
+	topo := mpi.NewCart(2, 2, 1)
+	fsys, dc, q, h := setup(t, g, topo)
+	if _, err := PrePartition(fsys, "in/mesh.bin", "parts", g, dc); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < topo.Size(); r++ {
+		sm, err := ReadPrePartitioned(fsys, "parts", g, dc, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Feed the solver path and compare against direct CVM extraction.
+		m1, err := medium.FromArrays(sm.Dims, h, sm.VP, sm.VS, sm.Rho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2 := medium.FromCVM(q, dc, dc.SubFor(r), h)
+		d1, d2 := m1.Rho.Data(), m2.Rho.Data()
+		for n := range d1 {
+			if rel(d1[n], d2[n]) > 1e-5 {
+				t.Fatalf("rank %d: rho[%d] %g vs %g", r, n, d1[n], d2[n])
+			}
+		}
+	}
+}
+
+func TestOnDemandMatchesPrePartitioned(t *testing.T) {
+	g := grid.Dims{NX: 12, NY: 10, NZ: 8}
+	topo := mpi.NewCart(2, 1, 2)
+	fsys, dc, _, _ := setup(t, g, topo)
+	if _, err := PrePartition(fsys, "in/mesh.bin", "parts", g, dc); err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []struct{ readers, ysplit int }{{1, 1}, {2, 1}, {4, 1}, {2, 2}, {3, 5}} {
+		subs, stats, err := OnDemand(fsys, "in/mesh.bin", g, dc, cfg.readers, cfg.ysplit)
+		if err != nil {
+			t.Fatalf("readers=%d ysplit=%d: %v", cfg.readers, cfg.ysplit, err)
+		}
+		if stats.Bytes == 0 {
+			t.Error("no read bytes accounted")
+		}
+		for r := 0; r < topo.Size(); r++ {
+			pre, err := ReadPrePartitioned(fsys, "parts", g, dc, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for n := range pre.VP {
+				if subs[r].VP[n] != pre.VP[n] || subs[r].Rho[n] != pre.Rho[n] {
+					t.Fatalf("cfg %+v rank %d: element %d differs", cfg, r, n)
+				}
+			}
+		}
+	}
+}
+
+func TestOnDemandValidation(t *testing.T) {
+	g := grid.Dims{NX: 8, NY: 8, NZ: 8}
+	fsys, dc, _, _ := setup(t, g, mpi.NewCart(2, 1, 1))
+	if _, _, err := OnDemand(fsys, "in/mesh.bin", g, dc, 0, 1); err == nil {
+		t.Error("0 readers accepted")
+	}
+	if _, _, err := OnDemand(fsys, "in/mesh.bin", g, dc, 5, 1); err == nil {
+		t.Error("more readers than ranks accepted")
+	}
+}
+
+// More readers reading smaller contiguous chunks should not increase the
+// simulated read time (the Fig 9 scalability property).
+func TestMoreReadersNoSlower(t *testing.T) {
+	g := grid.Dims{NX: 16, NY: 16, NZ: 12}
+	topo := mpi.NewCart(2, 2, 3)
+	fsys, dc, _, _ := setup(t, g, topo)
+	_, s1, err := OnDemand(fsys, "in/mesh.bin", g, dc, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, s4, err := OnDemand(fsys, "in/mesh.bin", g, dc, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s4.IOTime > s1.IOTime*1.01 {
+		t.Fatalf("4 readers slower than 1: %g vs %g", s4.IOTime, s1.IOTime)
+	}
+}
+
+func rel(a, b float32) float64 {
+	if b == 0 {
+		return math.Abs(float64(a))
+	}
+	return math.Abs(float64(a-b)) / math.Abs(float64(b))
+}

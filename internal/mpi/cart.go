@@ -1,0 +1,75 @@
+package mpi
+
+import "fmt"
+
+// Cart is a 3D Cartesian process topology over a world of PX*PY*PZ ranks,
+// mirroring the MPI_Cart_create topology AWP-ODC builds for its 3D domain
+// decomposition. Ranks are laid out x-fastest. The topology is
+// non-periodic: neighbors off the edge are reported as -1, matching
+// MPI_PROC_NULL usage in the original code.
+type Cart struct {
+	PX, PY, PZ int
+}
+
+// NewCart validates and returns a Cartesian topology.
+func NewCart(px, py, pz int) Cart {
+	if px <= 0 || py <= 0 || pz <= 0 {
+		panic(fmt.Sprintf("mpi: invalid cart %dx%dx%d", px, py, pz))
+	}
+	return Cart{px, py, pz}
+}
+
+// Size returns the number of ranks in the topology.
+func (t Cart) Size() int { return t.PX * t.PY * t.PZ }
+
+// Coords returns the (cx, cy, cz) coordinates of rank.
+func (t Cart) Coords(rank int) (cx, cy, cz int) {
+	if rank < 0 || rank >= t.Size() {
+		panic(fmt.Sprintf("mpi: rank %d outside cart of size %d", rank, t.Size()))
+	}
+	cx = rank % t.PX
+	cy = (rank / t.PX) % t.PY
+	cz = rank / (t.PX * t.PY)
+	return
+}
+
+// Rank returns the rank at coordinates (cx, cy, cz).
+func (t Cart) Rank(cx, cy, cz int) int {
+	if cx < 0 || cx >= t.PX || cy < 0 || cy >= t.PY || cz < 0 || cz >= t.PZ {
+		panic(fmt.Sprintf("mpi: coords (%d,%d,%d) outside cart %dx%dx%d", cx, cy, cz, t.PX, t.PY, t.PZ))
+	}
+	return (cz*t.PY+cy)*t.PX + cx
+}
+
+// Neighbor returns the rank one step along axis in direction dir (-1 or
+// +1), or -1 if that step leaves the topology.
+func (t Cart) Neighbor(rank, axis, dir int) int {
+	cx, cy, cz := t.Coords(rank)
+	switch axis {
+	case 0:
+		cx += dir
+		if cx < 0 || cx >= t.PX {
+			return -1
+		}
+	case 1:
+		cy += dir
+		if cy < 0 || cy >= t.PY {
+			return -1
+		}
+	case 2:
+		cz += dir
+		if cz < 0 || cz >= t.PZ {
+			return -1
+		}
+	default:
+		panic(fmt.Sprintf("mpi: invalid axis %d", axis))
+	}
+	return t.Rank(cx, cy, cz)
+}
+
+// OnBoundary reports whether rank touches the domain face on the given
+// axis and direction — such ranks own absorbing-boundary work in the
+// solver (§III.A).
+func (t Cart) OnBoundary(rank, axis, dir int) bool {
+	return t.Neighbor(rank, axis, dir) == -1
+}

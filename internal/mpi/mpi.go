@@ -1,0 +1,410 @@
+// Package mpi is an in-process message-passing runtime with MPI-like
+// semantics. It is the substrate standing in for the MPI library the paper's
+// AWP-ODC code runs on: ranks are goroutines, point-to-point messages are
+// matched by (source, tag) with per-pair FIFO ordering, and both blocking
+// (Send/Recv) and non-blocking (Isend/Irecv/Wait/Waitall) operations are
+// provided, along with barriers and the collectives the tool chain needs.
+//
+// Send has buffered (eager) semantics: it copies the payload and returns
+// immediately, exactly like a small-message MPI_Send on a real
+// implementation. This preserves the property the paper's asynchronous
+// communication redesign (§IV.A) relies on: messages from different sources
+// arrive in arbitrary interleaving, and only unique tags keep data
+// integrity.
+package mpi
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// AnySource matches a message from any source rank in Recv/Irecv.
+const AnySource = -1
+
+// AnyTag matches a message with any tag in Recv/Irecv.
+const AnyTag = -1
+
+// message is one in-flight point-to-point payload.
+type message struct {
+	src, tag int
+	data     []float32
+	seq      uint64 // per-destination arrival sequence, for FIFO matching
+}
+
+// inbox holds undelivered messages and pending receivers for one rank.
+type inbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []message
+	seq    uint64
+	closed bool
+}
+
+func newInbox() *inbox {
+	b := &inbox{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// World is a set of ranks that can communicate.
+type World struct {
+	size    int
+	inboxes []*inbox
+
+	barrierMu   sync.Mutex
+	barrierCond *sync.Cond
+	barrierCnt  int
+	barrierGen  int
+}
+
+// NewWorld creates a world with the given number of ranks.
+func NewWorld(size int) *World {
+	if size <= 0 {
+		panic(fmt.Sprintf("mpi: invalid world size %d", size))
+	}
+	w := &World{size: size, inboxes: make([]*inbox, size)}
+	for i := range w.inboxes {
+		w.inboxes[i] = newInbox()
+	}
+	w.barrierCond = sync.NewCond(&w.barrierMu)
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Run executes body concurrently on every rank and blocks until all ranks
+// return. If any rank panics, Run re-panics with the first panic value
+// after the others finish or deadlock is broken by closing inboxes.
+func (w *World) Run(body func(c *Comm)) {
+	var wg sync.WaitGroup
+	panics := make([]any, w.size)
+	var panicked bool
+	var mu sync.Mutex
+	wg.Add(w.size)
+	for r := 0; r < w.size; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					mu.Lock()
+					panics[rank] = p
+					panicked = true
+					mu.Unlock()
+					// Wake everything so blocked ranks can fail fast
+					// instead of deadlocking.
+					w.abort()
+				}
+			}()
+			body(&Comm{world: w, rank: rank})
+		}(r)
+	}
+	wg.Wait()
+	for r, p := range panics {
+		if p != nil {
+			panic(fmt.Sprintf("mpi: rank %d panicked: %v", r, p))
+		}
+	}
+	_ = panicked
+}
+
+// abort closes all inboxes and releases barrier waiters, so that a panic in
+// one rank does not deadlock the rest.
+func (w *World) abort() {
+	for _, b := range w.inboxes {
+		b.mu.Lock()
+		b.closed = true
+		b.cond.Broadcast()
+		b.mu.Unlock()
+	}
+	w.barrierMu.Lock()
+	w.barrierGen++
+	w.barrierCnt = 0
+	w.barrierCond.Broadcast()
+	w.barrierMu.Unlock()
+}
+
+// Comm is one rank's endpoint into the world.
+type Comm struct {
+	world *World
+	rank  int
+}
+
+// Rank returns this rank's id.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.world.size }
+
+// Send delivers a copy of data to dst with the given tag. It has buffered
+// semantics: the caller may reuse data immediately after Send returns.
+func (c *Comm) Send(dst, tag int, data []float32) {
+	if dst < 0 || dst >= c.world.size {
+		panic(fmt.Sprintf("mpi: Send to invalid rank %d (size %d)", dst, c.world.size))
+	}
+	cp := make([]float32, len(data))
+	copy(cp, data)
+	b := c.world.inboxes[dst]
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		panic("mpi: send on aborted world")
+	}
+	b.seq++
+	b.queue = append(b.queue, message{src: c.rank, tag: tag, data: cp, seq: b.seq})
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// Status describes a completed receive.
+type Status struct {
+	Source int
+	Tag    int
+	Count  int
+}
+
+// Recv blocks until a message matching (src, tag) is available, copies its
+// payload into buf, and returns the receive status. src may be AnySource
+// and tag may be AnyTag. It panics if the message is longer than buf.
+func (c *Comm) Recv(buf []float32, src, tag int) Status {
+	m := c.takeMatch(src, tag)
+	if len(m.data) > len(buf) {
+		panic(fmt.Sprintf("mpi: Recv overflow: message %d > buffer %d", len(m.data), len(buf)))
+	}
+	copy(buf, m.data)
+	return Status{Source: m.src, Tag: m.tag, Count: len(m.data)}
+}
+
+// takeMatch removes and returns the earliest-arrived message matching
+// (src, tag) from this rank's inbox, blocking until one exists.
+func (c *Comm) takeMatch(src, tag int) message {
+	b := c.world.inboxes[c.rank]
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		best := -1
+		for i, m := range b.queue {
+			if (src == AnySource || m.src == src) && (tag == AnyTag || m.tag == tag) {
+				if best == -1 || m.seq < b.queue[best].seq {
+					best = i
+				}
+			}
+		}
+		if best >= 0 {
+			m := b.queue[best]
+			b.queue = append(b.queue[:best], b.queue[best+1:]...)
+			return m
+		}
+		if b.closed {
+			panic("mpi: recv on aborted world")
+		}
+		b.cond.Wait()
+	}
+}
+
+// Request is a handle to a non-blocking operation.
+type Request struct {
+	done   bool
+	isRecv bool
+	comm   *Comm
+	buf    []float32
+	src    int
+	tag    int
+	status Status
+}
+
+// Isend starts a non-blocking send. With the eager transport the operation
+// completes immediately; the returned request exists so call sites mirror
+// the structure of the original MPI code (unique tags + MPI_Waitall).
+func (c *Comm) Isend(dst, tag int, data []float32) *Request {
+	c.Send(dst, tag, data)
+	return &Request{done: true, comm: c}
+}
+
+// Irecv posts a non-blocking receive into buf. The receive is matched and
+// completed when Wait (or Waitall) is called on the returned request.
+func (c *Comm) Irecv(buf []float32, src, tag int) *Request {
+	return &Request{isRecv: true, comm: c, buf: buf, src: src, tag: tag}
+}
+
+// Wait blocks until the request completes and returns its status.
+func (r *Request) Wait() Status {
+	if r.done {
+		return r.status
+	}
+	if r.isRecv {
+		r.status = r.comm.Recv(r.buf, r.src, r.tag)
+	}
+	r.done = true
+	return r.status
+}
+
+// Waitall completes every request in reqs.
+func Waitall(reqs []*Request) {
+	for _, r := range reqs {
+		if r != nil {
+			r.Wait()
+		}
+	}
+}
+
+// Barrier blocks until every rank in the world has entered it.
+func (c *Comm) Barrier() {
+	w := c.world
+	w.barrierMu.Lock()
+	gen := w.barrierGen
+	w.barrierCnt++
+	if w.barrierCnt == w.size {
+		w.barrierCnt = 0
+		w.barrierGen++
+		w.barrierCond.Broadcast()
+		w.barrierMu.Unlock()
+		return
+	}
+	for gen == w.barrierGen {
+		w.barrierCond.Wait()
+	}
+	w.barrierMu.Unlock()
+}
+
+// Reserved internal tag space for collectives; user tags must be >= 0, so
+// negatives below AnyTag are safe.
+const (
+	tagBcast  = -100
+	tagReduce = -101
+	tagGather = -102
+	tagAll    = -103
+)
+
+// Bcast broadcasts buf from root to all ranks; every rank returns with buf
+// holding root's data.
+func (c *Comm) Bcast(buf []float32, root int) {
+	if c.rank == root {
+		for r := 0; r < c.world.size; r++ {
+			if r != root {
+				c.Send(r, tagBcast, buf)
+			}
+		}
+		return
+	}
+	c.Recv(buf, root, tagBcast)
+}
+
+// Op is a reduction operator.
+type Op func(a, b float64) float64
+
+// Standard reduction operators.
+var (
+	Sum Op = func(a, b float64) float64 { return a + b }
+	Max Op = func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	Min Op = func(a, b float64) float64 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+)
+
+// Reduce combines elementwise values from all ranks at root with op.
+// Non-root ranks return their input unchanged; root returns the reduction.
+func (c *Comm) Reduce(vals []float64, op Op, root int) []float64 {
+	f32 := make([]float32, 2*len(vals))
+	packF64(vals, f32)
+	if c.rank != root {
+		c.Send(root, tagReduce, f32)
+		return vals
+	}
+	acc := append([]float64(nil), vals...)
+	tmp := make([]float32, len(f32))
+	other := make([]float64, len(vals))
+	for r := 0; r < c.world.size; r++ {
+		if r == root {
+			continue
+		}
+		c.Recv(tmp, r, tagReduce)
+		unpackF64(tmp, other)
+		for i := range acc {
+			acc[i] = op(acc[i], other[i])
+		}
+	}
+	return acc
+}
+
+// Allreduce performs Reduce at rank 0 then broadcasts the result.
+func (c *Comm) Allreduce(vals []float64, op Op) []float64 {
+	res := c.Reduce(vals, op, 0)
+	f32 := make([]float32, 2*len(vals))
+	if c.rank == 0 {
+		packF64(res, f32)
+	}
+	c.Bcast(f32, 0)
+	out := make([]float64, len(vals))
+	unpackF64(f32, out)
+	return out
+}
+
+// Gather collects each rank's data at root. Root receives a slice of
+// per-rank payloads indexed by rank; other ranks receive nil.
+func (c *Comm) Gather(data []float32, root int) [][]float32 {
+	if c.rank != root {
+		c.Send(root, tagGather, data)
+		return nil
+	}
+	out := make([][]float32, c.world.size)
+	out[root] = append([]float32(nil), data...)
+	for r := 0; r < c.world.size; r++ {
+		if r == root {
+			continue
+		}
+		// Probe-free gather with potentially unequal sizes: use a large
+		// temporary sized by a first-class length exchange.
+		m := c.takeMatchFrom(r, tagGather)
+		out[r] = m.data
+	}
+	return out
+}
+
+func (c *Comm) takeMatchFrom(src, tag int) message {
+	return c.takeMatch(src, tag)
+}
+
+// packF64 encodes float64 values into pairs of float32 (hi/lo split) so the
+// float32 transport can carry them without precision loss beyond ~1e-14.
+func packF64(src []float64, dst []float32) {
+	for i, v := range src {
+		hi := float32(v)
+		lo := float32(v - float64(hi))
+		dst[2*i] = hi
+		dst[2*i+1] = lo
+	}
+}
+
+func unpackF64(src []float32, dst []float64) {
+	for i := range dst {
+		dst[i] = float64(src[2*i]) + float64(src[2*i+1])
+	}
+}
+
+// SortedTags returns the distinct tags currently queued in this rank's
+// inbox, sorted; a test/debug helper.
+func (c *Comm) SortedTags() []int {
+	b := c.world.inboxes[c.rank]
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	seen := map[int]bool{}
+	for _, m := range b.queue {
+		seen[m.tag] = true
+	}
+	tags := make([]int, 0, len(seen))
+	for t := range seen {
+		tags = append(tags, t)
+	}
+	sort.Ints(tags)
+	return tags
+}

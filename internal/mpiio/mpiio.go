@@ -1,0 +1,110 @@
+// Package mpiio provides the MPI-IO-style collective access layer AWP-ODC
+// uses for mesh input and velocity output (§III.E): indexed file views
+// (segment lists describing a rank's 3D sub-block of a global record
+// file), explicit-offset reads/writes with no shared file pointers, and
+// collective-phase cost accounting against the simulated parallel file
+// system.
+package mpiio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/grid"
+	"repro/internal/pfs"
+)
+
+// Segment is one contiguous byte range of a file view.
+type Segment struct {
+	Off, Len int
+}
+
+// BlockSegments builds the file view for the sub-block
+// [i0,i1)x[j0,j1)x[k0,k1) of a global x-fastest record file with rec bytes
+// per grid point: one segment per contiguous x-run — the "new indexed data
+// types representing segmented output blocks" of §III.E.
+func BlockSegments(g grid.Dims, i0, i1, j0, j1, k0, k1, rec int) []Segment {
+	if i0 < 0 || i1 > g.NX || j0 < 0 || j1 > g.NY || k0 < 0 || k1 > g.NZ || i1 <= i0 || j1 <= j0 || k1 <= k0 {
+		panic(fmt.Sprintf("mpiio: block [%d,%d)x[%d,%d)x[%d,%d) invalid for %v", i0, i1, j0, j1, k0, k1, g))
+	}
+	segs := make([]Segment, 0, (j1-j0)*(k1-k0))
+	rowLen := (i1 - i0) * rec
+	for k := k0; k < k1; k++ {
+		for j := j0; j < j1; j++ {
+			off := ((k*g.NY+j)*g.NX + i0) * rec
+			segs = append(segs, Segment{Off: off, Len: rowLen})
+		}
+	}
+	return segs
+}
+
+// TotalLen returns the byte length of a view.
+func TotalLen(segs []Segment) int {
+	n := 0
+	for _, s := range segs {
+		n += s.Len
+	}
+	return n
+}
+
+// WriteIndexed writes data through the view with explicit displacements.
+func WriteIndexed(fsys *pfs.FS, path string, segs []Segment, data []byte) error {
+	if len(data) != TotalLen(segs) {
+		return fmt.Errorf("mpiio: data %d bytes, view %d", len(data), TotalLen(segs))
+	}
+	p := 0
+	for _, s := range segs {
+		fsys.WriteAt(path, s.Off, data[p:p+s.Len])
+		p += s.Len
+	}
+	return nil
+}
+
+// ReadIndexed reads the view into a new buffer.
+func ReadIndexed(fsys *pfs.FS, path string, segs []Segment) ([]byte, error) {
+	out := make([]byte, TotalLen(segs))
+	p := 0
+	for _, s := range segs {
+		if err := fsys.ReadAt(path, s.Off, out[p:p+s.Len]); err != nil {
+			return nil, err
+		}
+		p += s.Len
+	}
+	return out, nil
+}
+
+// PhaseOps converts per-rank views into the op list of one collective
+// phase (each rank pays one open).
+func PhaseOps(path string, views [][]Segment, write bool) []pfs.Op {
+	var ops []pfs.Op
+	for _, view := range views {
+		open := true
+		for _, s := range view {
+			ops = append(ops, pfs.Op{Path: path, Off: s.Off, Bytes: s.Len, Write: write, Open: open})
+			open = false
+		}
+	}
+	return ops
+}
+
+// Float32 codecs for record files (little-endian, matching the real
+// AWP-ODC binary formats).
+
+// PutFloat32s encodes vals into a new byte slice.
+func PutFloat32s(vals []float32) []byte {
+	out := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(v))
+	}
+	return out
+}
+
+// GetFloat32s decodes a byte slice into float32 values.
+func GetFloat32s(b []byte) []float32 {
+	out := make([]float32, len(b)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+// Package output implements the parallel-output machinery of §III.E:
+// run-time aggregation of decimated velocity output in memory buffers
+// flushed at a controlled frequency (the optimization that cut I/O
+// overhead from 49% to under 2%), MPI-IO-style single-file writes, and
+// parallel MD5 checksumming of the sub-arrays for integrity tracking.
+package output
+
+import (
+	"crypto/md5"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"repro/internal/mpiio"
+	"repro/internal/pfs"
+)
+
+// Aggregator buffers per-step output records and flushes them to one file
+// on the simulated PFS every FlushEvery appended steps.
+type Aggregator struct {
+	FS         *pfs.FS
+	Path       string
+	FlushEvery int
+
+	buf       []float32
+	steps     int
+	offset    int
+	flushes   int
+	Checksums []string       // MD5 of each flushed chunk
+	IOStats   pfs.PhaseStats // accumulated flush costs
+}
+
+// NewAggregator creates an aggregator; flushEvery <= 0 flushes every step
+// (the pathological unaggregated mode).
+func NewAggregator(fsys *pfs.FS, path string, flushEvery int) *Aggregator {
+	if flushEvery <= 0 {
+		flushEvery = 1
+	}
+	return &Aggregator{FS: fsys, Path: path, FlushEvery: flushEvery}
+}
+
+// Append adds one step's output record.
+func (a *Aggregator) Append(data []float32) {
+	a.buf = append(a.buf, data...)
+	a.steps++
+	if a.steps%a.FlushEvery == 0 {
+		a.Flush()
+	}
+}
+
+// Flush writes the buffered records and clears the buffer.
+func (a *Aggregator) Flush() {
+	if len(a.buf) == 0 {
+		return
+	}
+	data := mpiio.PutFloat32s(a.buf)
+	a.FS.WriteAt(a.Path, a.offset, data)
+	st := a.FS.SimulatePhase([]pfs.Op{{Path: a.Path, Off: a.offset, Bytes: len(data), Write: true, Open: true}})
+	a.accumulate(st)
+	sum := md5.Sum(data)
+	a.Checksums = append(a.Checksums, hex.EncodeToString(sum[:]))
+	a.offset += len(data)
+	a.buf = a.buf[:0]
+	a.flushes++
+}
+
+func (a *Aggregator) accumulate(st pfs.PhaseStats) {
+	a.IOStats.Elapsed += st.Elapsed
+	a.IOStats.MDSTime += st.MDSTime
+	a.IOStats.IOTime += st.IOTime
+	a.IOStats.Bytes += st.Bytes
+}
+
+// Flushes returns how many flushes have happened.
+func (a *Aggregator) Flushes() int { return a.flushes }
+
+// BytesWritten returns the total bytes flushed so far.
+func (a *Aggregator) BytesWritten() int { return a.offset }
+
+// ParallelMD5 computes MD5 checksums of nparts contiguous sub-arrays of
+// data concurrently — the parallelized integrity pass that "substantially
+// decreases the time needed to generate the checksums for several
+// terabytes" (§III.E).
+func ParallelMD5(data []byte, nparts int) []string {
+	if nparts <= 0 {
+		nparts = 1
+	}
+	if nparts > len(data) && len(data) > 0 {
+		nparts = len(data)
+	}
+	sums := make([]string, nparts)
+	var wg sync.WaitGroup
+	for p := 0; p < nparts; p++ {
+		lo := p * len(data) / nparts
+		hi := (p + 1) * len(data) / nparts
+		wg.Add(1)
+		go func(p, lo, hi int) {
+			defer wg.Done()
+			s := md5.Sum(data[lo:hi])
+			sums[p] = hex.EncodeToString(s[:])
+		}(p, lo, hi)
+	}
+	wg.Wait()
+	return sums
+}
+
+// SerialMD5 is the reference implementation for verification.
+func SerialMD5(data []byte, nparts int) []string {
+	if nparts <= 0 {
+		nparts = 1
+	}
+	if nparts > len(data) && len(data) > 0 {
+		nparts = len(data)
+	}
+	sums := make([]string, nparts)
+	for p := 0; p < nparts; p++ {
+		lo := p * len(data) / nparts
+		hi := (p + 1) * len(data) / nparts
+		s := md5.Sum(data[lo:hi])
+		sums[p] = hex.EncodeToString(s[:])
+	}
+	return sums
+}
+
+// OverheadModel prices the I/O overhead fraction of a run: stepCompute is
+// the per-step compute time, perStepBytes the output volume per recorded
+// step, flushEvery the aggregation interval. It reproduces the 49% -> <2%
+// aggregation result as a function of flushEvery.
+func OverheadModel(fsys *pfs.FS, path string, steps int, stepCompute float64, perStepBytes, flushEvery int) (ioFraction float64) {
+	if flushEvery <= 0 {
+		flushEvery = 1
+	}
+	var ioTime float64
+	nFlushes := steps / flushEvery
+	if nFlushes == 0 {
+		nFlushes = 1
+	}
+	for f := 0; f < nFlushes; f++ {
+		st := fsys.SimulatePhase([]pfs.Op{{
+			Path: path, Bytes: perStepBytes * flushEvery, Write: true, Open: true,
+		}})
+		ioTime += st.Elapsed
+	}
+	total := float64(steps)*stepCompute + ioTime
+	if total == 0 {
+		return 0
+	}
+	return ioTime / total
+}
+
+// Verify recomputes the MD5 of each flushed chunk and compares with the
+// recorded checksums; chunk sizes must be supplied in flush order.
+func (a *Aggregator) Verify(chunkBytes []int) error {
+	off := 0
+	for i, n := range chunkBytes {
+		buf := make([]byte, n)
+		if err := a.FS.ReadAt(a.Path, off, buf); err != nil {
+			return err
+		}
+		sum := md5.Sum(buf)
+		if got := hex.EncodeToString(sum[:]); got != a.Checksums[i] {
+			return fmt.Errorf("output: chunk %d checksum mismatch", i)
+		}
+		off += n
+	}
+	return nil
+}

@@ -1,0 +1,255 @@
+// Package pfs simulates a parallel file system (Lustre/GPFS-like) — the
+// substrate for the paper's I/O engineering (§III.C, §IV.E). Files hold
+// real bytes in memory; every operation also accrues *virtual* cost from a
+// performance model with object storage targets (OSTs), striping, and a
+// metadata server (MDS) whose service degrades under excessive concurrent
+// opens — the failure mode that motivated AWP-ODC's reader throttling
+// (limit ~650 concurrent opens on Jaguar) and I/O aggregation.
+package pfs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Config sets the performance model.
+type Config struct {
+	OSTs          int     // object storage targets (670 on Jaguar)
+	OSTBandwidth  float64 // bytes/s per OST
+	MDSLatency    float64 // seconds per metadata op at low load
+	MDSConcurrent int     // opens the MDS sustains before degrading
+}
+
+// Jaguar returns the model parameters of the NCCS Jaguar Lustre system:
+// 670 OSTs, ~32 MB/s effective per-OST stream bandwidth (20 GB/s in
+// aggregate), and an MDS comfortable up to ~650 concurrent opens.
+func Jaguar() Config {
+	return Config{OSTs: 670, OSTBandwidth: 32e6, MDSLatency: 1e-3, MDSConcurrent: 650}
+}
+
+// FS is the simulated file system.
+type FS struct {
+	mu    sync.Mutex
+	cfg   Config
+	files map[string]*file
+	// Default striping for newly created files.
+	defStripeCount int
+	defStripeSize  int
+	// Directory-level stripe settings (longest-prefix match), the
+	// `lfs setstripe` emulation.
+	dirStripes map[string][2]int
+}
+
+type file struct {
+	data        []byte
+	stripeCount int
+	stripeSize  int
+	ostBase     int
+}
+
+// New creates an empty file system.
+func New(cfg Config) *FS {
+	if cfg.OSTs <= 0 || cfg.OSTBandwidth <= 0 {
+		panic(fmt.Sprintf("pfs: invalid config %+v", cfg))
+	}
+	if cfg.MDSConcurrent <= 0 {
+		cfg.MDSConcurrent = 1
+	}
+	return &FS{
+		cfg:            cfg,
+		files:          map[string]*file{},
+		defStripeCount: 1,
+		defStripeSize:  1 << 20,
+		dirStripes:     map[string][2]int{},
+	}
+}
+
+// SetStripe sets the striping for files subsequently created under the
+// directory prefix (the lfs setstripe analogue). count is clamped to the
+// number of OSTs; count <= 0 means "all OSTs".
+func (fs *FS) SetStripe(dirPrefix string, count, size int) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if count <= 0 || count > fs.cfg.OSTs {
+		count = fs.cfg.OSTs
+	}
+	if size <= 0 {
+		size = 1 << 20
+	}
+	fs.dirStripes[dirPrefix] = [2]int{count, size}
+}
+
+// stripeFor resolves striping for a new file path.
+func (fs *FS) stripeFor(path string) (count, size int) {
+	best := ""
+	count, size = fs.defStripeCount, fs.defStripeSize
+	for prefix, cs := range fs.dirStripes {
+		if len(prefix) >= len(best) && len(prefix) <= len(path) && path[:len(prefix)] == prefix {
+			best = prefix
+			count, size = cs[0], cs[1]
+		}
+	}
+	return
+}
+
+// create makes the file if absent (caller holds the lock).
+func (fs *FS) create(path string) *file {
+	f := fs.files[path]
+	if f == nil {
+		count, size := fs.stripeFor(path)
+		f = &file{stripeCount: count, stripeSize: size, ostBase: hashPath(path) % fs.cfg.OSTs}
+		fs.files[path] = f
+	}
+	return f
+}
+
+func hashPath(p string) int {
+	h := 2166136261
+	for i := 0; i < len(p); i++ {
+		h = (h ^ int(p[i])) * 16777619 & 0x7fffffff
+	}
+	return h
+}
+
+// WriteAt stores data at offset, growing the file as needed.
+func (fs *FS) WriteAt(path string, off int, data []byte) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f := fs.create(path)
+	if need := off + len(data); need > len(f.data) {
+		grown := make([]byte, need)
+		copy(grown, f.data)
+		f.data = grown
+	}
+	copy(f.data[off:], data)
+}
+
+// ReadAt reads len(buf) bytes at offset; it returns an error if the range
+// is not fully populated.
+func (fs *FS) ReadAt(path string, off int, buf []byte) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f := fs.files[path]
+	if f == nil {
+		return fmt.Errorf("pfs: %s: no such file", path)
+	}
+	if off+len(buf) > len(f.data) {
+		return fmt.Errorf("pfs: %s: read [%d,%d) beyond EOF %d", path, off, off+len(buf), len(f.data))
+	}
+	copy(buf, f.data[off:])
+	return nil
+}
+
+// Size returns the file size or -1 if absent.
+func (fs *FS) Size(path string) int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f := fs.files[path]
+	if f == nil {
+		return -1
+	}
+	return len(f.data)
+}
+
+// Exists reports whether the file exists.
+func (fs *FS) Exists(path string) bool { return fs.Size(path) >= 0 }
+
+// Remove deletes a file.
+func (fs *FS) Remove(path string) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	delete(fs.files, path)
+}
+
+// List returns all file paths, sorted.
+func (fs *FS) List() []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	out := make([]string, 0, len(fs.files))
+	for p := range fs.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Op is one I/O request in a synchronized phase of a parallel job.
+type Op struct {
+	Path  string
+	Bytes int
+	Off   int
+	Write bool
+	Open  bool // whether this op pays a file-open metadata cost
+}
+
+// PhaseStats is the virtual-time outcome of a synchronized I/O phase in
+// which all listed ops proceed concurrently.
+type PhaseStats struct {
+	Elapsed    float64 // seconds: MDS time + slowest-OST transfer time
+	MDSTime    float64
+	IOTime     float64
+	Bytes      int
+	Throughput float64 // bytes/s aggregate
+	MaxOSTLoad float64 // bytes on the most loaded OST
+}
+
+// SimulatePhase prices one synchronized parallel I/O phase: all ops start
+// together; opens queue at the MDS (degrading superlinearly beyond the
+// concurrency limit); bytes stripe across OSTs and the slowest OST gates
+// completion. Data is not moved — pair with ReadAt/WriteAt for content.
+func (fs *FS) SimulatePhase(ops []Op) PhaseStats {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var st PhaseStats
+	ostBytes := make([]float64, fs.cfg.OSTs)
+	opens := 0
+	for _, op := range ops {
+		if op.Open {
+			opens++
+		}
+		st.Bytes += op.Bytes
+		f := fs.files[op.Path]
+		count, size, base := fs.defStripeCount, fs.defStripeSize, hashPath(op.Path)%fs.cfg.OSTs
+		if f != nil {
+			count, size, base = f.stripeCount, f.stripeSize, f.ostBase
+		}
+		// Distribute the byte range across the file's stripe set.
+		stripe := (op.Off / size) % count
+		remaining := op.Bytes
+		off := op.Off
+		for remaining > 0 {
+			chunk := size - off%size
+			if chunk > remaining {
+				chunk = remaining
+			}
+			ost := (base + stripe) % fs.cfg.OSTs
+			ostBytes[ost] += float64(chunk)
+			remaining -= chunk
+			off += chunk
+			stripe = (stripe + 1) % count
+		}
+	}
+	// MDS: service is serial at MDSLatency per op while load <= limit;
+	// beyond the limit, lock contention degrades it quadratically (the
+	// observed >100K-file pathology, §IV.E).
+	if opens > 0 {
+		factor := 1.0
+		if opens > fs.cfg.MDSConcurrent {
+			over := float64(opens) / float64(fs.cfg.MDSConcurrent)
+			factor = over * over
+		}
+		st.MDSTime = float64(opens) * fs.cfg.MDSLatency * factor / float64(fs.cfg.MDSConcurrent)
+	}
+	for _, b := range ostBytes {
+		if b > st.MaxOSTLoad {
+			st.MaxOSTLoad = b
+		}
+	}
+	st.IOTime = st.MaxOSTLoad / fs.cfg.OSTBandwidth
+	st.Elapsed = st.MDSTime + st.IOTime
+	if st.Elapsed > 0 {
+		st.Throughput = float64(st.Bytes) / st.Elapsed
+	}
+	return st
+}

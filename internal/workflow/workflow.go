@@ -1,0 +1,253 @@
+// Package workflow implements E2EaW (§III.I), the end-to-end workflow that
+// moves simulation products from the compute site to the archive: GridFTP-
+// style multi-stream transfers between simulated sites with failure
+// injection and automatic retransfer, pipelined parallel MD5 verification,
+// and an iRODS-like registry with replica and integrity metadata ingested
+// through the aggregated PIPUT path (an order of magnitude faster than
+// serial iPUT).
+package workflow
+
+import (
+	"crypto/md5"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/pfs"
+)
+
+// Site is one storage endpoint (e.g., Jaguar scratch, Kraken HPSS).
+type Site struct {
+	Name string
+	FS   *pfs.FS
+}
+
+// Link models the wide-area path between two sites.
+type Link struct {
+	BandwidthPerStream float64 // bytes/s of one GridFTP stream
+	MaxStreams         int     // parallel streams available
+	FailureRate        float64 // probability a stream transfer attempt fails
+}
+
+// TransferStats reports one transfer job.
+type TransferStats struct {
+	Files      int
+	Bytes      int
+	Retries    int
+	Elapsed    float64 // simulated seconds
+	Throughput float64 // bytes/s
+	Verified   bool
+}
+
+// Transferer moves files between sites over a link.
+type Transferer struct {
+	Link Link
+	rng  *rand.Rand
+}
+
+// NewTransferer seeds the failure injector deterministically.
+func NewTransferer(link Link, seed int64) *Transferer {
+	if link.MaxStreams <= 0 {
+		link.MaxStreams = 1
+	}
+	return &Transferer{Link: link, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Transfer copies the named files from src to dst with up to MaxStreams
+// parallel streams, verifying MD5 checksums end to end and automatically
+// retransferring failed or corrupted files (§III.I: "transaction records
+// are maintained to allow automatic recovery").
+func (t *Transferer) Transfer(src, dst Site, paths []string, nStreams int) (TransferStats, error) {
+	if nStreams <= 0 || nStreams > t.Link.MaxStreams {
+		nStreams = t.Link.MaxStreams
+	}
+	var st TransferStats
+	st.Files = len(paths)
+	// Stream-parallel scheduling: files are assigned round-robin; each
+	// stream moves its files serially. Simulated time = slowest stream.
+	streams := make([]float64, nStreams)
+	const maxAttempts = 8
+	for idx, p := range paths {
+		sz := src.FS.Size(p)
+		if sz < 0 {
+			return st, fmt.Errorf("workflow: %s missing at %s", p, src.Name)
+		}
+		data := make([]byte, sz)
+		if err := src.FS.ReadAt(p, 0, data); err != nil {
+			return st, err
+		}
+		want := md5.Sum(data)
+		stream := idx % nStreams
+		ok := false
+		for attempt := 0; attempt < maxAttempts; attempt++ {
+			streams[stream] += float64(sz) / t.Link.BandwidthPerStream
+			if t.rng.Float64() < t.Link.FailureRate {
+				st.Retries++
+				continue // failed attempt: retransfer
+			}
+			dst.FS.WriteAt(p, 0, data)
+			// End-to-end verification.
+			got := make([]byte, sz)
+			if err := dst.FS.ReadAt(p, 0, got); err != nil {
+				return st, err
+			}
+			if md5.Sum(got) != want {
+				st.Retries++
+				continue
+			}
+			ok = true
+			break
+		}
+		if !ok {
+			return st, fmt.Errorf("workflow: %s failed after %d attempts", p, maxAttempts)
+		}
+		st.Bytes += sz
+	}
+	for _, s := range streams {
+		if s > st.Elapsed {
+			st.Elapsed = s
+		}
+	}
+	if st.Elapsed > 0 {
+		st.Throughput = float64(st.Bytes) / st.Elapsed
+	}
+	st.Verified = true
+	return st, nil
+}
+
+// Registry is the iRODS-like digital-library catalogue: per object the
+// MD5 checksum and the sites holding replicas.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*Entry
+}
+
+// Entry is one catalogued object.
+type Entry struct {
+	Path     string
+	Checksum string
+	Bytes    int
+	Replicas []string // site names
+}
+
+// NewRegistry creates an empty catalogue.
+func NewRegistry() *Registry {
+	return &Registry{entries: map[string]*Entry{}}
+}
+
+// Ingest registers files present at a site, computing checksums in
+// parallel with nWorkers concurrent workers (the PIPUT aggregated path;
+// nWorkers=1 is the serial iPUT baseline). Returns the simulated ingestion
+// time assuming perStreamBandwidth per worker.
+func (r *Registry) Ingest(site Site, paths []string, nWorkers int, perStreamBandwidth float64) (float64, error) {
+	if nWorkers <= 0 {
+		nWorkers = 1
+	}
+	type result struct {
+		entry *Entry
+		err   error
+	}
+	results := make(chan result, len(paths))
+	var wg sync.WaitGroup
+	workerTime := make([]float64, nWorkers)
+	// Deterministic round-robin assignment: the simulated elapsed time is
+	// the slowest worker's share, independent of goroutine scheduling.
+	for w := 0; w < nWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for pi := w; pi < len(paths); pi += nWorkers {
+				p := paths[pi]
+				sz := site.FS.Size(p)
+				if sz < 0 {
+					results <- result{err: fmt.Errorf("workflow: %s missing", p)}
+					continue
+				}
+				data := make([]byte, sz)
+				if err := site.FS.ReadAt(p, 0, data); err != nil {
+					results <- result{err: err}
+					continue
+				}
+				sum := md5.Sum(data)
+				workerTime[w] += float64(sz) / perStreamBandwidth
+				results <- result{entry: &Entry{
+					Path: p, Checksum: hex.EncodeToString(sum[:]), Bytes: sz,
+					Replicas: []string{site.Name},
+				}}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(results)
+	for res := range results {
+		if res.err != nil {
+			return 0, res.err
+		}
+		r.mu.Lock()
+		if e := r.entries[res.entry.Path]; e != nil {
+			e.Replicas = mergeReplicas(e.Replicas, res.entry.Replicas)
+		} else {
+			r.entries[res.entry.Path] = res.entry
+		}
+		r.mu.Unlock()
+	}
+	elapsed := 0.0
+	for _, t := range workerTime {
+		if t > elapsed {
+			elapsed = t
+		}
+	}
+	return elapsed, nil
+}
+
+func mergeReplicas(a, b []string) []string {
+	seen := map[string]bool{}
+	for _, s := range a {
+		seen[s] = true
+	}
+	for _, s := range b {
+		if !seen[s] {
+			a = append(a, s)
+			seen[s] = true
+		}
+	}
+	sort.Strings(a)
+	return a
+}
+
+// Lookup returns the entry for a path.
+func (r *Registry) Lookup(path string) (Entry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.entries[path]
+	if e == nil {
+		return Entry{}, false
+	}
+	return *e, true
+}
+
+// VerifyReplica checks that a site's copy matches the registered checksum.
+func (r *Registry) VerifyReplica(site Site, path string) error {
+	e, ok := r.Lookup(path)
+	if !ok {
+		return fmt.Errorf("workflow: %s not registered", path)
+	}
+	data := make([]byte, e.Bytes)
+	if err := site.FS.ReadAt(path, 0, data); err != nil {
+		return err
+	}
+	sum := md5.Sum(data)
+	if hex.EncodeToString(sum[:]) != e.Checksum {
+		return fmt.Errorf("workflow: %s replica at %s corrupt", path, site.Name)
+	}
+	return nil
+}
+
+// Count returns the number of catalogued objects.
+func (r *Registry) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}

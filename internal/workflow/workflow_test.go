@@ -1,0 +1,166 @@
+package workflow
+
+import (
+	"testing"
+
+	"repro/internal/pfs"
+)
+
+func newSite(name string) Site {
+	return Site{Name: name, FS: pfs.New(pfs.Config{
+		OSTs: 8, OSTBandwidth: 1e8, MDSLatency: 1e-4, MDSConcurrent: 16,
+	})}
+}
+
+func seedFiles(s Site, n, bytes int) []string {
+	paths := make([]string, n)
+	for i := range paths {
+		paths[i] = "data/vol." + string(rune('a'+i%26)) + string(rune('a'+i/26))
+		data := make([]byte, bytes)
+		for b := range data {
+			data[b] = byte(i + b)
+		}
+		s.FS.WriteAt(paths[i], 0, data)
+	}
+	return paths
+}
+
+func TestTransferMovesAndVerifies(t *testing.T) {
+	src, dst := newSite("jaguar"), newSite("kraken-hpss")
+	paths := seedFiles(src, 10, 1<<12)
+	tr := NewTransferer(Link{BandwidthPerStream: 50e6, MaxStreams: 4}, 1)
+	st, err := tr.Transfer(src, dst, paths, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Files != 10 || st.Bytes != 10*(1<<12) || !st.Verified {
+		t.Fatalf("stats %+v", st)
+	}
+	// Content intact at destination.
+	buf := make([]byte, 1<<12)
+	if err := dst.FS.ReadAt(paths[3], 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[5] != byte(3+5) {
+		t.Fatal("content corrupted")
+	}
+}
+
+func TestTransferRetriesOnFailure(t *testing.T) {
+	src, dst := newSite("a"), newSite("b")
+	paths := seedFiles(src, 20, 1<<10)
+	tr := NewTransferer(Link{BandwidthPerStream: 50e6, MaxStreams: 2, FailureRate: 0.3}, 7)
+	st, err := tr.Transfer(src, dst, paths, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Retries == 0 {
+		t.Error("expected retries with 30% failure rate")
+	}
+	if st.Bytes != 20*(1<<10) {
+		t.Error("not all bytes delivered despite retries")
+	}
+}
+
+func TestTransferMissingFile(t *testing.T) {
+	src, dst := newSite("a"), newSite("b")
+	tr := NewTransferer(Link{BandwidthPerStream: 1e6, MaxStreams: 1}, 1)
+	if _, err := tr.Transfer(src, dst, []string{"nope"}, 1); err == nil {
+		t.Fatal("missing source accepted")
+	}
+}
+
+func TestParallelStreamsFaster(t *testing.T) {
+	src, dst1, dst2 := newSite("a"), newSite("b1"), newSite("b2")
+	paths := seedFiles(src, 16, 1<<16)
+	tr := NewTransferer(Link{BandwidthPerStream: 25e6, MaxStreams: 16}, 3)
+	one, err := tr.Transfer(src, dst1, paths, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := tr.Transfer(src, dst2, paths, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if many.Elapsed >= one.Elapsed/4 {
+		t.Fatalf("8 streams not much faster: %g vs %g", many.Elapsed, one.Elapsed)
+	}
+	if many.Throughput <= one.Throughput {
+		t.Fatal("aggregate throughput did not rise with streams")
+	}
+}
+
+func TestRegistryIngestAndVerify(t *testing.T) {
+	site := newSite("sdsc")
+	paths := seedFiles(site, 12, 1<<10)
+	reg := NewRegistry()
+	elapsed, err := reg.Ingest(site, paths, 4, 20e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed <= 0 {
+		t.Error("no ingest time accounted")
+	}
+	if reg.Count() != 12 {
+		t.Fatalf("registered %d, want 12", reg.Count())
+	}
+	e, ok := reg.Lookup(paths[0])
+	if !ok || e.Checksum == "" || len(e.Replicas) != 1 {
+		t.Fatalf("entry %+v", e)
+	}
+	if err := reg.VerifyReplica(site, paths[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt and detect.
+	site.FS.WriteAt(paths[0], 2, []byte{0xFF, 0xEE})
+	if err := reg.VerifyReplica(site, paths[0]); err == nil {
+		t.Fatal("corruption not detected")
+	}
+	if _, ok := reg.Lookup("ghost"); ok {
+		t.Fatal("phantom entry")
+	}
+	if err := reg.VerifyReplica(site, "ghost"); err == nil {
+		t.Fatal("unregistered verify accepted")
+	}
+}
+
+// PIPUT vs iPUT (§III.I): aggregated parallel ingestion is ~10x faster
+// than the serial path.
+func TestAggregatedIngestionSpeedup(t *testing.T) {
+	site := newSite("sdsc")
+	paths := seedFiles(site, 40, 1<<12)
+	reg1, reg2 := NewRegistry(), NewRegistry()
+	serial, err := reg1.Ingest(site, paths, 1, 17.7e6/10) // single iPUT stream
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := reg2.Ingest(site, paths, 10, 17.7e6) // PIPUT workers
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parallel > serial/10 {
+		t.Fatalf("aggregated ingestion speedup too small: %g vs %g", parallel, serial)
+	}
+}
+
+func TestReplicaMergeAcrossSites(t *testing.T) {
+	a, b := newSite("siteA"), newSite("siteB")
+	paths := seedFiles(a, 3, 64)
+	// Replicate to b byte-for-byte.
+	for _, p := range paths {
+		buf := make([]byte, 64)
+		a.FS.ReadAt(p, 0, buf)
+		b.FS.WriteAt(p, 0, buf)
+	}
+	reg := NewRegistry()
+	if _, err := reg.Ingest(a, paths, 2, 1e6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Ingest(b, paths, 2, 1e6); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := reg.Lookup(paths[0])
+	if len(e.Replicas) != 2 {
+		t.Fatalf("replicas %v, want both sites", e.Replicas)
+	}
+}
