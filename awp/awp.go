@@ -80,6 +80,16 @@ type Scenario struct {
 	// rank. The 3D topology is chosen automatically.
 	Ranks int
 
+	// Threads is each rank's persistent worker-pool size (the hybrid
+	// MPI/OpenMP mode, §IV.D); 0 or 1 runs each rank serially, negative
+	// values are rejected. Results are bit-identical across Threads.
+	Threads int
+
+	// CopyHalo selects the legacy copying halo-message path instead of
+	// the default zero-copy buffer lending (benchmarking aid; results
+	// are bit-identical).
+	CopyHalo bool
+
 	Comm        solver.CommModel
 	ABC         solver.ABCKind
 	SpongeWidth int // 0: 8 cells (laptop-scale default; production uses 20)
@@ -103,6 +113,8 @@ func Run(q Model, sc Scenario) (*Result, error) {
 		Dt:          sc.Dt,
 		Steps:       sc.Steps,
 		Comm:        sc.Comm,
+		Threads:     sc.Threads,
+		CopyHalo:    sc.CopyHalo,
 		Variant:     fd.Blocked,
 		Blocking:    fd.DefaultBlocking,
 		ABC:         sc.ABC,

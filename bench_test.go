@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"repro/internal/core/fd"
+	"repro/internal/core/sched"
 	"repro/internal/core/solver"
 	"repro/internal/core/source"
 	"repro/internal/cvm"
@@ -238,5 +239,112 @@ func BenchmarkSolverStep(b *testing.B) {
 			}
 		}
 		b.ReportMetric(float64(g.Cells()*10*b.N)/b.Elapsed().Seconds()/1e6, "Mcells/s")
+	})
+}
+
+// --- Execution engine ablations: pool vs spawn, threaded overlap, ---
+// --- zero-copy messaging (the persistent-engine PR's three layers) ---
+
+// BenchmarkEnginePoolVsSpawn isolates scheduling overhead at equal thread
+// counts: the legacy spawn-per-call k-slab path against the persistent
+// pool draining the same work as j/k tiles.
+func BenchmarkEnginePoolVsSpawn(b *testing.B) {
+	d := grid.Dims{NX: 64, NY: 64, NZ: 64}
+	m := benchMedium(b, d)
+	dt := m.StableDt(0.5)
+	box := fd.FullBox(d)
+	for _, threads := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("spawn/threads=%d", threads), func(b *testing.B) {
+			s := fd.NewState(d)
+			s.VX.Set(32, 32, 32, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fd.UpdateVelocityParallel(s, m, dt, box, fd.Blocked, fd.DefaultBlocking, threads)
+				fd.UpdateStressParallel(s, m, dt, box, fd.Blocked, fd.DefaultBlocking, threads)
+			}
+			b.ReportMetric(float64(d.Cells())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mcells/s")
+		})
+		b.Run(fmt.Sprintf("pool/threads=%d", threads), func(b *testing.B) {
+			p := sched.NewPool(threads)
+			defer p.Close()
+			s := fd.NewState(d)
+			s.VX.Set(32, 32, 32, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fd.UpdateVelocityTiled(s, m, dt, box, fd.Blocked, fd.DefaultBlocking, p)
+				fd.UpdateStressTiled(s, m, dt, box, fd.Blocked, fd.DefaultBlocking, p)
+			}
+			b.ReportMetric(float64(d.Cells())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mcells/s")
+		})
+	}
+}
+
+// BenchmarkEngineOverlapThreads runs the full solver in the overlap model,
+// serial vs pooled: with spare cores the interior update hides behind the
+// exchange (§IV.C+D). On a single-core host the threaded rows only measure
+// scheduling overhead — record GOMAXPROCS alongside the numbers.
+func BenchmarkEngineOverlapThreads(b *testing.B) {
+	q := cvm.Homogeneous(cvm.Material{Vp: 6000, Vs: 3464, Rho: 2700})
+	g := grid.Dims{NX: 128, NY: 128, NZ: 128}
+	for _, threads := range []int{1, 4} {
+		b.Run(fmt.Sprintf("overlap/threads=%d", threads), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := solver.Run(q, solver.Options{
+					Global: g, H: 100, Steps: 2,
+					Topo: mpi.NewCart(2, 1, 1),
+					Comm: solver.AsyncOverlap, Threads: threads,
+					Sources: []source.SampledSource{(source.PointSource{
+						GI: 64, GJ: 64, GK: 64, M0: 1e15,
+						Tensor: source.Explosion, STF: source.GaussianPulse(0.05, 0.01),
+					}).Sample(0.002, 100)},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(g.Cells()*2*b.N)/b.Elapsed().Seconds()/1e6, "Mcells/s")
+		})
+	}
+}
+
+// BenchmarkEngineHaloSendMode contrasts the copying send path with the
+// buffer-lending zero-copy path at halo-face message sizes. Run with
+// -benchmem: the zero-copy rows must show 0 allocs/op in steady state.
+func BenchmarkEngineHaloSendMode(b *testing.B) {
+	const n = 2 * 64 * 64 // one ghost face of a 64^3 subgrid
+	b.Run("copy", func(b *testing.B) {
+		w := mpi.NewWorld(2)
+		b.ResetTimer()
+		w.Run(func(c *mpi.Comm) {
+			buf := make([]float32, n)
+			if c.Rank() == 0 {
+				for i := 0; i < b.N; i++ {
+					c.Send(1, 1, buf)
+				}
+			} else {
+				for i := 0; i < b.N; i++ {
+					c.Recv(buf, 0, 1)
+				}
+			}
+		})
+	})
+	b.Run("zero-copy", func(b *testing.B) {
+		w := mpi.NewWorld(2)
+		b.ResetTimer()
+		w.Run(func(c *mpi.Comm) {
+			if c.Rank() == 0 {
+				src := make([]float32, n)
+				for i := 0; i < b.N; i++ {
+					out := mpi.GetBuffer(n)
+					copy(out, src) // the one pack
+					c.SendOwned(1, 1, out)
+				}
+			} else {
+				for i := 0; i < b.N; i++ {
+					in, _ := c.RecvTake(0, 1)
+					mpi.PutBuffer(in)
+				}
+			}
+		})
 	})
 }

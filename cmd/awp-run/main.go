@@ -18,6 +18,8 @@ func main() {
 	h := flag.Float64("h", 200, "grid spacing, m")
 	steps := flag.Int("steps", 300, "time steps")
 	ranks := flag.Int("ranks", 1, "MPI ranks (goroutines)")
+	threads := flag.Int("threads", 1, "worker threads per rank (persistent pool, §IV.D)")
+	copyHalo := flag.Bool("copy-halo", false, "use the legacy copying halo-message path instead of zero-copy")
 	comm := flag.String("comm", "async-reduced", "comm model: sync|async|async-reduced|overlap")
 	abc := flag.String("abc", "sponge", "absorbing boundary: none|sponge|mpml")
 	model := flag.String("model", "socal", "velocity model: socal|layered|rock")
@@ -67,6 +69,7 @@ func main() {
 
 	sc := awp.Scenario{
 		Dims: dims, H: *h, Steps: *steps, Ranks: *ranks,
+		Threads: *threads, CopyHalo: *copyHalo,
 		FreeSurface: true, Attenuation: true,
 		Sources:   awp.PointMomentSource(*srcI, *srcJ, *srcK, *mw, 0.3, 0.08),
 		Receivers: [][3]int{{*srcI, *srcJ, 0}, {*nx - 10, *srcJ, 0}},
@@ -98,8 +101,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("awp-run: %v grid, h=%.0f m, dt=%.4f s, %d steps, %d ranks, comm=%s abc=%s\n",
-		dims, *h, res.Dt, res.Steps, *ranks, *comm, *abc)
+	fmt.Printf("awp-run: %v grid, h=%.0f m, dt=%.4f s, %d steps, %d ranks x %d threads, comm=%s abc=%s\n",
+		dims, *h, res.Dt, res.Steps, *ranks, *threads, *comm, *abc)
 	fmt.Printf("epicentral PGVH: %.4e m/s; distant-receiver PGVH: %.4e m/s\n",
 		awp.PGVH(res.Seismograms[0]), awp.PGVH(res.Seismograms[1]))
 	var pgvMax float64

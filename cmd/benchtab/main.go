@@ -25,7 +25,8 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table1, table2, table3, fig3, fig11, fig12, fig13, fig14, fig19, fig21, fig22, fig23, sustained, all)")
+	exp := flag.String("exp", "all", "experiment id (table1, table2, table3, fig3, fig11, fig12, fig13, fig14, fig19, fig21, fig22, fig23, sustained, engine, all)")
+	out := flag.String("out", "BENCH_1.json", "output path for the engine experiment's JSON report")
 	flag.Parse()
 
 	exps := map[string]func(){
@@ -42,6 +43,7 @@ func main() {
 		"fig22":     fig21to23,
 		"fig23":     fig21to23,
 		"sustained": sustained,
+		"engine":    func() { engine(*out) },
 	}
 	if *exp == "all" {
 		for _, name := range []string{"table1", "table2", "table3", "sustained",

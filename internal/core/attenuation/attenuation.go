@@ -34,6 +34,7 @@ import (
 	"math"
 
 	"repro/internal/core/fd"
+	"repro/internal/core/sched"
 	"repro/internal/grid"
 	"repro/internal/medium"
 )
@@ -240,6 +241,15 @@ func (a *Model) Apply(s *fd.State, m *medium.Medium, dt float64, box fd.Box) {
 func (a *Model) ApplyParallel(s *fd.State, m *medium.Medium, dt float64, box fd.Box, nthreads int) {
 	fd.ForEachKSlab(box, nthreads, func(sub fd.Box) {
 		a.Apply(s, m, dt, sub)
+	})
+}
+
+// ApplyTiled runs Apply over the j/k tiles of box on the persistent pool;
+// memory variables and stress corrections are per-point, so any disjoint
+// tiling is race-free and bit-identical to Apply.
+func (a *Model) ApplyTiled(s *fd.State, m *medium.Medium, dt float64, box fd.Box, blk fd.Blocking, p *sched.Pool) {
+	fd.ForEachTile(box, blk, p, func(b fd.Box) {
+		a.Apply(s, m, dt, b)
 	})
 }
 

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/core/fd"
+	"repro/internal/core/sched"
 	"repro/internal/cvm"
 	"repro/internal/decomp"
 	"repro/internal/grid"
@@ -402,4 +403,61 @@ func TestClassicPMLUnstableMPMLStable(t *testing.T) {
 	if mpml > 0.1 {
 		t.Errorf("M-PML energy %g: should have absorbed the impulse", mpml)
 	}
+}
+
+// ApplyPool must reproduce Apply bit-exactly: planes are disjoint rows of
+// the padded arrays, so scheduling cannot change the arithmetic.
+func TestSpongeApplyPoolBitIdentical(t *testing.T) {
+	d := grid.Dims{NX: 18, NY: 13, NZ: 11}
+	fill := func() *fd.State {
+		s := fd.NewState(d)
+		for fi, f := range s.Fields() {
+			data := f.Data()
+			for n := range data {
+				data[n] = float32(fi+1) * float32(n%97-48)
+			}
+		}
+		return s
+	}
+	sp := NewSpongeGlobal(d, grid.Dims{NX: 36, NY: 13, NZ: 11}, [3]int{18, 0, 0},
+		6, 0.1, AllAbsorbing())
+	ref := fill()
+	sp.Apply(ref)
+	for _, threads := range []int{2, 4, 9} {
+		p := sched.NewPool(threads)
+		s := fill()
+		sp.ApplyPool(s, p)
+		p.Close()
+		for fi, f := range s.Fields() {
+			a, b := f.Data(), ref.Fields()[fi].Data()
+			for n := range a {
+				if a[n] != b[n] {
+					t.Fatalf("threads=%d field %d idx %d: %g != %g", threads, fi, n, a[n], b[n])
+				}
+			}
+		}
+	}
+	// Uniform fast path: a subgrid far from every absorbing zone is left
+	// untouched without visiting any plane.
+	far := NewSpongeGlobal(grid.Dims{NX: 4, NY: 4, NZ: 4}, grid.Dims{NX: 100, NY: 100, NZ: 100},
+		[3]int{48, 48, 48}, 5, 0.1, AllAbsorbing())
+	s := fill2(grid.Dims{NX: 4, NY: 4, NZ: 4})
+	before := append([]float32(nil), s.VX.Data()...)
+	far.ApplyPool(s, nil)
+	for n := range before {
+		if s.VX.Data()[n] != before[n] {
+			t.Fatal("interior subgrid modified")
+		}
+	}
+}
+
+func fill2(d grid.Dims) *fd.State {
+	s := fd.NewState(d)
+	for _, f := range s.Fields() {
+		data := f.Data()
+		for n := range data {
+			data[n] = float32(n%13) + 1
+		}
+	}
+	return s
 }

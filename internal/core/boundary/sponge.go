@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/core/fd"
+	"repro/internal/core/sched"
 	"repro/internal/grid"
 )
 
@@ -85,14 +86,37 @@ func (sp *Sponge) factorAxis(g, n int, lo, hi bool) float32 {
 
 // Apply damps all nine components in the sponge zones, ghost cells
 // included. Call once per time step, after the stress exchange.
-func (sp *Sponge) Apply(s *fd.State) {
+func (sp *Sponge) Apply(s *fd.State) { sp.ApplyPool(s, nil) }
+
+// ApplyPool is Apply with the per-field k-planes run as a work queue on
+// the persistent pool (nil or serial pool: inline). Planes are disjoint
+// rows of the padded arrays, so the parallel form is race-free and
+// bit-identical to the serial one.
+func (sp *Sponge) ApplyPool(s *fd.State, p *sched.Pool) {
 	g := grid.Ghost
 	l := sp.Local
-	// Precompute per-axis factors over the padded local range.
-	fx := make([]float32, l.NX+2*g)
-	fy := make([]float32, l.NY+2*g)
-	fz := make([]float32, l.NZ+2*g)
-	uniform := true
+	fx, fy, fz, uniform := sp.factors()
+	if uniform {
+		return // subgrid nowhere near an absorbing zone
+	}
+	fields := s.Fields()
+	nz := l.NZ + 2*g
+	p.ForEachN(len(fields)*nz, func(idx int) {
+		f := fields[idx/nz]
+		k := idx%nz - g
+		sp.applyPlane(f, k, fx, fy, fz)
+	})
+}
+
+// factors precomputes the per-axis taper over the padded local range;
+// uniform reports that every factor is 1 (nothing to damp).
+func (sp *Sponge) factors() (fx, fy, fz []float32, uniform bool) {
+	g := grid.Ghost
+	l := sp.Local
+	fx = make([]float32, l.NX+2*g)
+	fy = make([]float32, l.NY+2*g)
+	fz = make([]float32, l.NZ+2*g)
+	uniform = true
 	for i := range fx {
 		gi := clampIdx(sp.Off[0]+i-g, sp.Global.NX)
 		fx[i] = sp.factorAxis(gi, sp.Global.NX, sp.Faces.XLo, sp.Faces.XHi)
@@ -114,25 +138,25 @@ func (sp *Sponge) Apply(s *fd.State) {
 			uniform = false
 		}
 	}
-	if uniform {
-		return // subgrid nowhere near an absorbing zone
-	}
-	for _, f := range s.Fields() {
-		for k := -g; k < l.NZ+g; k++ {
-			zk := fz[k+g]
-			for j := -g; j < l.NY+g; j++ {
-				fyz := fy[j+g] * zk
-				if fyz == 1 && !sp.Faces.XLo && !sp.Faces.XHi {
-					continue
-				}
-				base := f.Idx(-g, j, k)
-				row := f.Data()[base : base+l.NX+2*g]
-				for i := range row {
-					t := fx[i] * fyz
-					if t != 1 {
-						row[i] *= t
-					}
-				}
+	return fx, fy, fz, uniform
+}
+
+// applyPlane damps one padded k-plane of one field through row slices.
+func (sp *Sponge) applyPlane(f *grid.Field3, k int, fx, fy, fz []float32) {
+	g := grid.Ghost
+	l := sp.Local
+	zk := fz[k+g]
+	for j := -g; j < l.NY+g; j++ {
+		fyz := fy[j+g] * zk
+		if fyz == 1 && !sp.Faces.XLo && !sp.Faces.XHi {
+			continue
+		}
+		base := f.Idx(-g, j, k)
+		row := f.Data()[base : base+l.NX+2*g]
+		for i := range row {
+			t := fx[i] * fyz
+			if t != 1 {
+				row[i] *= t
 			}
 		}
 	}

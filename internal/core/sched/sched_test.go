@@ -1,0 +1,109 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// Every index in [0,n) must be executed exactly once.
+func TestForEachNCoversExactlyOnce(t *testing.T) {
+	for _, size := range []int{1, 2, 4, 7} {
+		p := NewPool(size)
+		for _, n := range []int{0, 1, 3, 17, 100} {
+			counts := make([]atomic.Int32, max(n, 1))
+			p.ForEachN(n, func(i int) { counts[i].Add(1) })
+			for i := 0; i < n; i++ {
+				if c := counts[i].Load(); c != 1 {
+					t.Fatalf("size=%d n=%d: index %d ran %d times", size, n, i, c)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+// The pool is persistent: repeated batches reuse the same workers and
+// leave no goroutines behind per call.
+func TestPoolReuseAcrossBatches(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var total atomic.Int64
+	for round := 0; round < 50; round++ {
+		p.ForEachN(13, func(i int) { total.Add(int64(i)) })
+	}
+	want := int64(50 * 13 * 12 / 2)
+	if got := total.Load(); got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+}
+
+// More workers than items must not deadlock or double-execute.
+func TestMoreWorkersThanItems(t *testing.T) {
+	p := NewPool(16)
+	defer p.Close()
+	var n atomic.Int32
+	p.ForEachN(3, func(int) { n.Add(1) })
+	if n.Load() != 3 {
+		t.Fatalf("executed %d items, want 3", n.Load())
+	}
+}
+
+// Concurrent ForEachN calls from different goroutines (e.g. two ranks
+// sharing a pool in tests) must each complete all their items.
+func TestConcurrentSubmitters(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	var wg sync.WaitGroup
+	var total atomic.Int64
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 20; r++ {
+				p.ForEachN(9, func(int) { total.Add(1) })
+			}
+		}()
+	}
+	wg.Wait()
+	if got := total.Load(); got != 4*20*9 {
+		t.Fatalf("total = %d, want %d", got, 4*20*9)
+	}
+}
+
+// Nil and serial pools run inline.
+func TestSerialAndNilPool(t *testing.T) {
+	var nilPool *Pool
+	ran := 0
+	nilPool.ForEachN(5, func(int) { ran++ })
+	if ran != 5 {
+		t.Fatalf("nil pool ran %d, want 5", ran)
+	}
+	if nilPool.Size() != 1 {
+		t.Fatalf("nil pool size %d", nilPool.Size())
+	}
+	p := NewPool(0)
+	defer p.Close()
+	if p.Size() != 1 {
+		t.Fatalf("serial pool size %d", p.Size())
+	}
+	order := []int{}
+	p.ForEachN(4, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if i != v {
+			t.Fatal("serial pool did not run in order")
+		}
+	}
+}
+
+// Close is idempotent and a closed pool still completes work serially.
+func TestCloseIdempotentAndServiceable(t *testing.T) {
+	p := NewPool(4)
+	p.Close()
+	p.Close()
+	var n atomic.Int32
+	p.ForEachN(7, func(int) { n.Add(1) })
+	if n.Load() != 7 {
+		t.Fatalf("closed pool ran %d items, want 7", n.Load())
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core/boundary"
 	"repro/internal/core/fd"
 	"repro/internal/core/rupture"
+	"repro/internal/core/sched"
 	"repro/internal/core/source"
 	"repro/internal/cvm"
 	"repro/internal/decomp"
@@ -54,9 +55,20 @@ type Options struct {
 	Comm     CommModel
 	Variant  fd.Variant
 	Blocking fd.Blocking
-	// Threads enables the hybrid MPI/OpenMP mode (§IV.D): worker
-	// goroutines per rank over k-slabs. <= 1 is pure MPI.
+	// Threads sets the per-rank worker-pool size of the hybrid MPI/OpenMP
+	// mode (§IV.D): a persistent pool of Threads goroutines executes the
+	// kernel loops as a queue of j/k tiles (shape Blocking). 0 defaults to
+	// 1 (pure MPI); negative values are rejected by Run. Every comm model
+	// honors Threads: Synchronous, Asynchronous and AsyncReduced run the
+	// bulk kernels, attenuation, sponge and PGV tracking on the pool;
+	// AsyncOverlap additionally runs the boundary strips and the interior
+	// update on the pool while halo messages are in flight.
 	Threads int
+	// CopyHalo selects the legacy copying message path (mpi.Comm.Send's
+	// defensive copy) instead of the default zero-copy buffer-lending
+	// path. Results are bit-identical; the switch exists so benchmarks can
+	// isolate the messaging-layer gain.
+	CopyHalo bool
 
 	ABC         ABCKind
 	PMLWidth    int
@@ -117,6 +129,12 @@ func Run(q cvm.Querier, opt Options) (*Result, error) {
 	if opt.Topo.Size() == 0 {
 		opt.Topo = mpi.NewCart(1, 1, 1)
 	}
+	if opt.Threads < 0 {
+		return nil, fmt.Errorf("solver: Threads must be >= 0, got %d", opt.Threads)
+	}
+	if opt.Threads == 0 {
+		opt.Threads = 1
+	}
 	if opt.RecordEvery <= 0 {
 		opt.RecordEvery = 1
 	}
@@ -165,6 +183,7 @@ type rankState struct {
 	med  *medium.Medium
 	st   *fd.State
 	hx   *halo
+	pool *sched.Pool
 
 	nbrMask [3][2]bool
 
@@ -194,7 +213,9 @@ func runRank(c *mpi.Comm, q cvm.Querier, dc decomp.Decomp, opt Options) (*Result
 	rs := &rankState{comm: c, sub: dc.SubFor(c.Rank())}
 	rs.med = medium.FromCVM(q, dc, rs.sub, opt.H)
 	rs.st = fd.NewState(rs.sub.Local)
-	rs.hx = newHalo(c, opt.Topo)
+	rs.hx = newHalo(c, opt.Topo, opt.CopyHalo)
+	rs.pool = sched.NewPool(opt.Threads)
+	defer rs.pool.Close()
 	for ax := 0; ax < 3; ax++ {
 		rs.nbrMask[ax][0] = opt.Topo.Neighbor(c.Rank(), ax, -1) >= 0
 		rs.nbrMask[ax][1] = opt.Topo.Neighbor(c.Rank(), ax, +1) >= 0
@@ -334,15 +355,18 @@ func (rs *rankState) setupFault(opt Options, dt float64) error {
 }
 
 // advance performs one full time step with the configured comm model,
-// accumulating the Eq. 7 timing decomposition.
+// accumulating the Eq. 7 timing decomposition. All bulk work runs as tile
+// queues on the rank's persistent worker pool; with Threads=1 the pool
+// degenerates to inline serial execution and the schedule is identical to
+// the original code.
 func (rs *rankState) advance(opt Options, dt, tNow float64, tm *Timing) {
 	// --- Velocity phase ---
 	t0 := time.Now()
 	if opt.Comm == AsyncOverlap {
 		strips, inner := boundaryStrips(rs.sub.Local, rs.nbrMask, grid.Ghost)
-		for _, b := range strips {
-			fd.UpdateVelocity(rs.st, rs.med, dt, intersect(b, rs.compBox), opt.Variant, opt.Blocking)
-		}
+		fd.ForEachTileMulti(rs.clipStrips(strips), opt.Blocking, rs.pool, func(b fd.Box) {
+			fd.UpdateVelocity(rs.st, rs.med, dt, b, opt.Variant, opt.Blocking)
+		})
 		for _, z := range rs.zones {
 			z.UpdateVelocity(rs.st, rs.med, dt)
 		}
@@ -351,13 +375,13 @@ func (rs *rankState) advance(opt Options, dt, tNow float64, tm *Timing) {
 		fin := rs.hx.postAsync(rs.st.Velocities(), []int{0, 1, 2}, velocityAxes(opt.Comm))
 		tm.Comm += time.Since(t0).Seconds()
 		t0 = time.Now()
-		fd.UpdateVelocity(rs.st, rs.med, dt, intersect(inner, rs.compBox), opt.Variant, opt.Blocking)
+		fd.UpdateVelocityTiled(rs.st, rs.med, dt, intersect(inner, rs.compBox), opt.Variant, opt.Blocking, rs.pool)
 		tm.Comp += time.Since(t0).Seconds()
 		t0 = time.Now()
 		fin()
 		tm.Comm += time.Since(t0).Seconds()
 	} else {
-		fd.UpdateVelocityParallel(rs.st, rs.med, dt, rs.compBox, opt.Variant, opt.Blocking, opt.Threads)
+		fd.UpdateVelocityTiled(rs.st, rs.med, dt, rs.compBox, opt.Variant, opt.Blocking, rs.pool)
 		for _, z := range rs.zones {
 			z.UpdateVelocity(rs.st, rs.med, dt)
 		}
@@ -384,17 +408,18 @@ func (rs *rankState) advance(opt Options, dt, tNow float64, tm *Timing) {
 	// The sponge runs after the exchange (it damps ghost copies with the
 	// same global taper, so every rank damps identical physical cells);
 	// source injection runs before the strips are packed so neighbor
-	// ghosts include it.
+	// ghosts include it. Attenuation rides in the same tile as the elastic
+	// stress update: it writes the same disjoint tile region, so the pair
+	// stays race-free and cell-ordered.
 	t0 = time.Now()
 	if opt.Comm == AsyncOverlap {
 		strips, inner := boundaryStrips(rs.sub.Local, rs.nbrMask, grid.Ghost)
-		for _, b := range strips {
-			sb := intersect(b, rs.compBox)
-			fd.UpdateStress(rs.st, rs.med, dt, sb, opt.Variant, opt.Blocking)
+		fd.ForEachTileMulti(rs.clipStrips(strips), opt.Blocking, rs.pool, func(b fd.Box) {
+			fd.UpdateStress(rs.st, rs.med, dt, b, opt.Variant, opt.Blocking)
 			if rs.atten != nil {
-				rs.atten.Apply(rs.st, rs.med, dt, sb)
+				rs.atten.Apply(rs.st, rs.med, dt, b)
 			}
-		}
+		})
 		for _, z := range rs.zones {
 			z.UpdateStress(rs.st, rs.med, dt)
 		}
@@ -405,25 +430,40 @@ func (rs *rankState) advance(opt Options, dt, tNow float64, tm *Timing) {
 		fin := rs.hx.postAsync(rs.st.Stresses(), []int{3, 4, 5, 6, 7, 8}, stressAxes(opt.Comm))
 		tm.Comm += time.Since(t0).Seconds()
 		t0 = time.Now()
-		fd.UpdateStress(rs.st, rs.med, dt, inner2, opt.Variant, opt.Blocking)
-		if rs.atten != nil {
-			rs.atten.Apply(rs.st, rs.med, dt, inner2)
-		}
+		fd.ForEachTile(inner2, opt.Blocking, rs.pool, func(b fd.Box) {
+			fd.UpdateStress(rs.st, rs.med, dt, b, opt.Variant, opt.Blocking)
+			if rs.atten != nil {
+				rs.atten.Apply(rs.st, rs.med, dt, b)
+			}
+		})
 		rs.srcs.InjectRegion(rs.st, dt, tNow, inner2, true) // interior sources
 		tm.Comp += time.Since(t0).Seconds()
 		t0 = time.Now()
 		fin()
 		tm.Comm += time.Since(t0).Seconds()
 	} else {
-		fd.UpdateStressParallel(rs.st, rs.med, dt, rs.compBox, opt.Variant, opt.Blocking, opt.Threads)
-		for _, z := range rs.zones {
-			z.UpdateStress(rs.st, rs.med, dt)
-		}
-		if rs.fault != nil {
+		if rs.fault == nil {
+			fd.ForEachTile(rs.compBox, opt.Blocking, rs.pool, func(b fd.Box) {
+				fd.UpdateStress(rs.st, rs.med, dt, b, opt.Variant, opt.Blocking)
+				if rs.atten != nil {
+					rs.atten.Apply(rs.st, rs.med, dt, b)
+				}
+			})
+			for _, z := range rs.zones {
+				z.UpdateStress(rs.st, rs.med, dt)
+			}
+		} else {
+			// DFR mode: the split-node correction must see the purely
+			// elastic stress, so attenuation runs after it (the seed
+			// ordering) instead of fused into the stress tiles.
+			fd.UpdateStressTiled(rs.st, rs.med, dt, rs.compBox, opt.Variant, opt.Blocking, rs.pool)
+			for _, z := range rs.zones {
+				z.UpdateStress(rs.st, rs.med, dt)
+			}
 			rs.fault.CorrectStress(rs.st, rs.med, dt)
-		}
-		if rs.atten != nil {
-			rs.atten.ApplyParallel(rs.st, rs.med, dt, rs.compBox, opt.Threads)
+			if rs.atten != nil {
+				rs.atten.ApplyTiled(rs.st, rs.med, dt, rs.compBox, opt.Blocking, rs.pool)
+			}
 		}
 		rs.srcs.Inject(rs.st, dt, tNow)
 		tm.Comp += time.Since(t0).Seconds()
@@ -438,7 +478,7 @@ func (rs *rankState) advance(opt Options, dt, tNow float64, tm *Timing) {
 	}
 	t0 = time.Now()
 	if rs.sponge != nil {
-		rs.sponge.Apply(rs.st)
+		rs.sponge.ApplyPool(rs.st, rs.pool)
 	}
 	if rs.fs != nil {
 		rs.fs.ApplyStress(rs.st)
@@ -446,30 +486,53 @@ func (rs *rankState) advance(opt Options, dt, tNow float64, tm *Timing) {
 	tm.Comp += time.Since(t0).Seconds()
 }
 
-// trackPGV folds the current surface velocities into the peak maps.
+// clipStrips intersects the overlap boundary strips with the non-PML
+// computation box, dropping strips the PML zones fully absorb.
+func (rs *rankState) clipStrips(strips []fd.Box) []fd.Box {
+	out := strips[:0]
+	for _, b := range strips {
+		if sb := intersect(b, rs.compBox); !sb.Empty() {
+			out = append(out, sb)
+		}
+	}
+	return out
+}
+
+// trackPGV folds the current surface velocities into the peak maps,
+// row-sliced over the pool (rows are disjoint, so the parallel fold is
+// race-free and bit-identical to the serial one).
 func (rs *rankState) trackPGV() {
 	if rs.pgvh == nil {
 		return
 	}
+	rs.pool.ForEachN(rs.sub.Local.NY, rs.trackPGVRow)
+}
+
+// trackPGVRow folds surface row j through contiguous row slices instead
+// of per-point bounds-checked At() calls.
+func (rs *rankState) trackPGVRow(j int) {
 	nx := rs.sub.Local.NX
-	for j := 0; j < rs.sub.Local.NY; j++ {
-		for i := 0; i < nx; i++ {
-			vx := float64(rs.st.VX.At(i, j, 0))
-			vy := float64(rs.st.VY.At(i, j, 0))
-			vz := float64(rs.st.VZ.At(i, j, 0))
-			n := j*nx + i
-			if h := math.Hypot(vx, vy); h > rs.pgvh[n] {
-				rs.pgvh[n] = h
-			}
-			if a := math.Abs(vx); a > rs.pgvx[n] {
-				rs.pgvx[n] = a
-			}
-			if a := math.Abs(vy); a > rs.pgvy[n] {
-				rs.pgvy[n] = a
-			}
-			if a := math.Abs(vz); a > rs.pgvz[n] {
-				rs.pgvz[n] = a
-			}
+	base := rs.st.VX.Idx(0, j, 0) // identical layout across components
+	vxr := rs.st.VX.Data()[base : base+nx]
+	vyr := rs.st.VY.Data()[base : base+nx]
+	vzr := rs.st.VZ.Data()[base : base+nx]
+	ph := rs.pgvh[j*nx : (j+1)*nx]
+	px := rs.pgvx[j*nx : (j+1)*nx]
+	py := rs.pgvy[j*nx : (j+1)*nx]
+	pz := rs.pgvz[j*nx : (j+1)*nx]
+	for i := 0; i < nx; i++ {
+		vx, vy, vz := float64(vxr[i]), float64(vyr[i]), float64(vzr[i])
+		if h := math.Hypot(vx, vy); h > ph[i] {
+			ph[i] = h
+		}
+		if a := math.Abs(vx); a > px[i] {
+			px[i] = a
+		}
+		if a := math.Abs(vy); a > py[i] {
+			py[i] = a
+		}
+		if a := math.Abs(vz); a > pz[i] {
+			pz[i] = a
 		}
 	}
 }

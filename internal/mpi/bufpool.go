@@ -1,0 +1,71 @@
+package mpi
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Message-buffer pool for the zero-copy (buffer-lending) send path.
+// Buffers circulate: a sender packs a halo face into a GetBuffer slice,
+// lends it with SendOwned, the receiver unpacks and returns it with
+// PutBuffer — one pack, zero copies, zero steady-state allocations.
+//
+// The pool is a set of power-of-two capacity classes, each a LIFO free
+// list under its own mutex. A plain mutex-guarded slice (rather than
+// sync.Pool) keeps Put free of boxing allocations, which is the point of
+// the exercise: the legacy Send path costs one allocation plus one copy
+// per message, and -benchmem must show the lending path at zero.
+
+const maxBufClass = 31
+
+var bufClasses [maxBufClass + 1]struct {
+	mu   sync.Mutex
+	free [][]float32
+}
+
+// classFor returns the smallest power-of-two class holding n values.
+func classFor(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// GetBuffer returns a []float32 of length n from the pool, allocating a
+// power-of-two-capacity buffer on a miss. Contents are unspecified (the
+// caller overwrites them by packing).
+func GetBuffer(n int) []float32 {
+	c := classFor(n)
+	if c > maxBufClass {
+		return make([]float32, n)
+	}
+	p := &bufClasses[c]
+	p.mu.Lock()
+	if last := len(p.free) - 1; last >= 0 {
+		b := p.free[last]
+		p.free = p.free[:last]
+		p.mu.Unlock()
+		return b[:n]
+	}
+	p.mu.Unlock()
+	return make([]float32, n, 1<<c)
+}
+
+// PutBuffer recycles a buffer previously obtained from GetBuffer (or
+// received via RecvTake/IrecvTake). Safe to call with any slice; buffers
+// land in the class their capacity fully covers.
+func PutBuffer(b []float32) {
+	if cap(b) == 0 {
+		return
+	}
+	// Largest class n with 1<<n <= cap: Get from this class may return the
+	// buffer for any request up to its capacity.
+	c := bits.Len(uint(cap(b))) - 1
+	if c > maxBufClass {
+		return
+	}
+	p := &bufClasses[c]
+	p.mu.Lock()
+	p.free = append(p.free, b[:cap(b)])
+	p.mu.Unlock()
+}

@@ -140,11 +140,25 @@ func (c *Comm) Size() int { return c.world.size }
 // Send delivers a copy of data to dst with the given tag. It has buffered
 // semantics: the caller may reuse data immediately after Send returns.
 func (c *Comm) Send(dst, tag int, data []float32) {
+	cp := make([]float32, len(data))
+	copy(cp, data)
+	c.deliver(dst, tag, cp)
+}
+
+// SendOwned delivers data to dst without copying: ownership of the slice
+// transfers to the runtime and then to the receiver. The caller must not
+// touch data after the call. Paired with RecvTake/IrecvTake and the
+// GetBuffer/PutBuffer pool, a message costs one pack and zero further
+// copies — the zero-copy halo path of the execution-engine redesign.
+func (c *Comm) SendOwned(dst, tag int, data []float32) {
+	c.deliver(dst, tag, data)
+}
+
+// deliver enqueues data (already owned by the runtime) at dst's inbox.
+func (c *Comm) deliver(dst, tag int, data []float32) {
 	if dst < 0 || dst >= c.world.size {
 		panic(fmt.Sprintf("mpi: Send to invalid rank %d (size %d)", dst, c.world.size))
 	}
-	cp := make([]float32, len(data))
-	copy(cp, data)
 	b := c.world.inboxes[dst]
 	b.mu.Lock()
 	if b.closed {
@@ -152,7 +166,7 @@ func (c *Comm) Send(dst, tag int, data []float32) {
 		panic("mpi: send on aborted world")
 	}
 	b.seq++
-	b.queue = append(b.queue, message{src: c.rank, tag: tag, data: cp, seq: b.seq})
+	b.queue = append(b.queue, message{src: c.rank, tag: tag, data: data, seq: b.seq})
 	b.cond.Broadcast()
 	b.mu.Unlock()
 }
@@ -174,6 +188,14 @@ func (c *Comm) Recv(buf []float32, src, tag int) Status {
 	}
 	copy(buf, m.data)
 	return Status{Source: m.src, Tag: m.tag, Count: len(m.data)}
+}
+
+// RecvTake blocks until a message matching (src, tag) is available and
+// returns its payload without copying — the receiver takes ownership of
+// the sender's lent buffer. Recycle it with PutBuffer when done.
+func (c *Comm) RecvTake(src, tag int) ([]float32, Status) {
+	m := c.takeMatch(src, tag)
+	return m.data, Status{Source: m.src, Tag: m.tag, Count: len(m.data)}
 }
 
 // takeMatch removes and returns the earliest-arrived message matching
@@ -207,6 +229,7 @@ func (c *Comm) takeMatch(src, tag int) message {
 type Request struct {
 	done   bool
 	isRecv bool
+	take   bool // zero-copy receive: claim the message buffer on Wait
 	comm   *Comm
 	buf    []float32
 	src    int
@@ -222,10 +245,24 @@ func (c *Comm) Isend(dst, tag int, data []float32) *Request {
 	return &Request{done: true, comm: c}
 }
 
+// IsendOwned is Isend with SendOwned semantics: no copy, the runtime takes
+// ownership of data.
+func (c *Comm) IsendOwned(dst, tag int, data []float32) *Request {
+	c.SendOwned(dst, tag, data)
+	return &Request{done: true, comm: c}
+}
+
 // Irecv posts a non-blocking receive into buf. The receive is matched and
 // completed when Wait (or Waitall) is called on the returned request.
 func (c *Comm) Irecv(buf []float32, src, tag int) *Request {
 	return &Request{isRecv: true, comm: c, buf: buf, src: src, tag: tag}
+}
+
+// IrecvTake posts a non-blocking zero-copy receive: no buffer is supplied,
+// and after Wait the message payload is available from Data(). The
+// receiver owns the buffer; recycle it with PutBuffer after unpacking.
+func (c *Comm) IrecvTake(src, tag int) *Request {
+	return &Request{isRecv: true, take: true, comm: c, src: src, tag: tag}
 }
 
 // Wait blocks until the request completes and returns its status.
@@ -234,10 +271,23 @@ func (r *Request) Wait() Status {
 		return r.status
 	}
 	if r.isRecv {
-		r.status = r.comm.Recv(r.buf, r.src, r.tag)
+		if r.take {
+			r.buf, r.status = r.comm.RecvTake(r.src, r.tag)
+		} else {
+			r.status = r.comm.Recv(r.buf, r.src, r.tag)
+		}
 	}
 	r.done = true
 	return r.status
+}
+
+// Data returns the payload of a completed zero-copy receive (IrecvTake
+// after Wait); nil otherwise.
+func (r *Request) Data() []float32 {
+	if !r.done || !r.take {
+		return nil
+	}
+	return r.buf
 }
 
 // Waitall completes every request in reqs.

@@ -6,6 +6,8 @@
 package tuner
 
 import (
+	"math"
+
 	"repro/internal/core/fd"
 	"repro/internal/core/solver"
 	"repro/internal/grid"
@@ -34,9 +36,12 @@ func (m IOMode) String() string {
 
 // Config is the tuned run-time configuration.
 type Config struct {
-	Variant         fd.Variant
-	Blocking        fd.Blocking
-	Comm            solver.CommModel
+	Variant  fd.Variant
+	Blocking fd.Blocking // cache-blocking factors, also the pool tile shape
+	Comm     solver.CommModel
+	// Threads is the per-rank persistent worker-pool size of the hybrid
+	// MPI/OpenMP execution engine (solver.Options.Threads).
+	Threads         int
 	ABC             solver.ABCKind
 	IOMode          IOMode
 	MaxOpenFiles    int // concurrent-open throttle (§IV.E)
@@ -54,6 +59,9 @@ type Inputs struct {
 	Steps         int
 	MediaGradient float64 // max relative Vs jump between neighbor cells
 	FailureMTBF   int     // expected steps between failures; 0 = reliable
+	// ThreadsPerRank is the hardware concurrency available to one MPI
+	// rank (hybrid mode, §IV.D); 0 means one core per rank (pure MPI).
+	ThreadsPerRank int
 }
 
 // Tune selects the configuration for the observed system, encoding the
@@ -76,6 +84,18 @@ func Tune(in Inputs) Config {
 		cfg.Comm = solver.Asynchronous
 	}
 
+	// Hybrid execution engine: with spare hardware threads per rank, the
+	// persistent pool makes computation/communication overlap win — the
+	// interior update no longer serializes behind the exchange (§IV.C+D),
+	// so overlap supersedes the flat async models.
+	cfg.Threads = in.ThreadsPerRank
+	if cfg.Threads < 1 {
+		cfg.Threads = 1
+	}
+	if cfg.Threads > 1 {
+		cfg.Comm = solver.AsyncOverlap
+	}
+
 	// ABCs: split-field PMLs are unstable under strong media gradients
 	// (§II.D); fall back to sponge layers there.
 	if in.MediaGradient > 0.5 {
@@ -90,6 +110,26 @@ func Tune(in Inputs) Config {
 		cellsPerCore := float64(in.Global.Cells()) / float64(in.Cores)
 		if cellsPerCore < 64*64*64 {
 			cfg.Variant = fd.Precomp
+		}
+		// Tile shape doubles as the pool's work-unit size: the queue needs
+		// ~4 tiles per worker for dynamic load balance when PML trimming
+		// makes panels uneven. Halve the blocking factors (floor 2) until
+		// the per-rank subgrid yields enough tiles.
+		if cfg.Threads > 1 {
+			side := int(math.Cbrt(cellsPerCore))
+			if side < 1 {
+				side = 1
+			}
+			tiles := func(b fd.Blocking) int {
+				return ((side + b.JBlock - 1) / b.JBlock) * ((side + b.KBlock - 1) / b.KBlock)
+			}
+			for tiles(cfg.Blocking) < 4*cfg.Threads && (cfg.Blocking.JBlock > 2 || cfg.Blocking.KBlock > 2) {
+				if cfg.Blocking.KBlock >= cfg.Blocking.JBlock {
+					cfg.Blocking.KBlock /= 2
+				} else {
+					cfg.Blocking.JBlock /= 2
+				}
+			}
 		}
 	}
 

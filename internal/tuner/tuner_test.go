@@ -86,6 +86,54 @@ func TestIOModeSwitchesWithScale(t *testing.T) {
 	}
 }
 
+func TestPureMPIDefaultsToOneThread(t *testing.T) {
+	cfg := Tune(baseInputs())
+	if cfg.Threads != 1 {
+		t.Errorf("Threads = %d with ThreadsPerRank unset, want 1", cfg.Threads)
+	}
+	if cfg.Comm != solver.AsyncReduced {
+		t.Errorf("comm = %v, pure-MPI choice must be unchanged", cfg.Comm)
+	}
+}
+
+func TestHybridThreadsSelectOverlap(t *testing.T) {
+	in := baseInputs()
+	in.ThreadsPerRank = 4
+	cfg := Tune(in)
+	if cfg.Threads != 4 {
+		t.Errorf("Threads = %d, want 4", cfg.Threads)
+	}
+	if cfg.Comm != solver.AsyncOverlap {
+		t.Errorf("comm = %v, want overlap when the pool can hide the exchange", cfg.Comm)
+	}
+}
+
+func TestHybridShrinksTilesForLoadBalance(t *testing.T) {
+	in := baseInputs()
+	// Small subgrid (~32^3 per rank) with a wide pool: the default 8x16
+	// tiles would yield too few work units.
+	in.Global = grid.Dims{NX: 256, NY: 256, NZ: 128}
+	in.Cores = 256
+	in.ThreadsPerRank = 8
+	cfg := Tune(in)
+	def := fd.DefaultBlocking
+	if cfg.Blocking.JBlock > def.JBlock || cfg.Blocking.KBlock > def.KBlock {
+		t.Fatalf("blocking %+v grew beyond default %+v", cfg.Blocking, def)
+	}
+	if cfg.Blocking == def {
+		t.Errorf("blocking %+v unchanged; small hybrid subgrids need more tiles than workers", cfg.Blocking)
+	}
+	if cfg.Blocking.JBlock < 2 || cfg.Blocking.KBlock < 2 {
+		t.Errorf("blocking %+v shrank below the floor", cfg.Blocking)
+	}
+	// Production-size subgrids already yield plenty of tiles: unchanged.
+	big := baseInputs()
+	big.ThreadsPerRank = 4
+	if got := Tune(big).Blocking; got != def {
+		t.Errorf("production blocking %+v, want default %+v", got, def)
+	}
+}
+
 func TestCheckpointIntervalFromMTBF(t *testing.T) {
 	in := baseInputs()
 	in.FailureMTBF = 5000
