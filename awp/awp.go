@@ -90,6 +90,11 @@ type Scenario struct {
 	// are bit-identical).
 	CopyHalo bool
 
+	// CoalesceHalo packs all faces bound for one neighbor in one phase
+	// into a single message (one per neighbor per phase instead of one
+	// per field per face); results are bit-identical.
+	CoalesceHalo bool
+
 	Comm        solver.CommModel
 	ABC         solver.ABCKind
 	SpongeWidth int // 0: 8 cells (laptop-scale default; production uses 20)
@@ -108,23 +113,24 @@ func Run(q Model, sc Scenario) (*Result, error) {
 		sc.SpongeWidth = 8
 	}
 	opt := solver.Options{
-		Global:      sc.Dims,
-		H:           sc.H,
-		Dt:          sc.Dt,
-		Steps:       sc.Steps,
-		Comm:        sc.Comm,
-		Threads:     sc.Threads,
-		CopyHalo:    sc.CopyHalo,
-		Variant:     fd.Blocked,
-		Blocking:    fd.DefaultBlocking,
-		ABC:         sc.ABC,
-		SpongeWidth: sc.SpongeWidth,
-		FreeSurface: sc.FreeSurface,
-		Attenuation: sc.Attenuation,
-		Sources:     sc.Sources,
-		Fault:       sc.Fault,
-		Receivers:   sc.Receivers,
-		TrackPGV:    sc.TrackPGV,
+		Global:       sc.Dims,
+		H:            sc.H,
+		Dt:           sc.Dt,
+		Steps:        sc.Steps,
+		Comm:         sc.Comm,
+		Threads:      sc.Threads,
+		CopyHalo:     sc.CopyHalo,
+		CoalesceHalo: sc.CoalesceHalo,
+		Variant:      fd.Blocked,
+		Blocking:     fd.DefaultBlocking,
+		ABC:          sc.ABC,
+		SpongeWidth:  sc.SpongeWidth,
+		FreeSurface:  sc.FreeSurface,
+		Attenuation:  sc.Attenuation,
+		Sources:      sc.Sources,
+		Fault:        sc.Fault,
+		Receivers:    sc.Receivers,
+		TrackPGV:     sc.TrackPGV,
 	}
 	if sc.Ranks > 1 {
 		if sc.Fault != nil {

@@ -36,6 +36,7 @@ type engineReport struct {
 	GOARCH      string         `json:"goarch"`
 	GOMAXPROCS  int            `json:"gomaxprocs"`
 	NumCPU      int            `json:"num_cpu"`
+	Warning     string         `json:"warning,omitempty"`
 	Results     []engineResult `json:"results"`
 }
 
@@ -51,8 +52,14 @@ func engine(outPath string) {
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		NumCPU:      runtime.NumCPU(),
 	}
-	fmt.Printf("GOMAXPROCS=%d NumCPU=%d (threaded rows need >1 for real speedup)\n\n",
+	fmt.Printf("GOMAXPROCS=%d NumCPU=%d (threaded rows need >1 for real speedup)\n",
 		rep.GOMAXPROCS, rep.NumCPU)
+	if rep.GOMAXPROCS == 1 {
+		rep.Warning = "GOMAXPROCS=1: pool workers and ranks share one OS thread; " +
+			"threaded and overlap rows measure scheduling overhead, not parallel speedup"
+		fmt.Printf("WARNING: %s\n", rep.Warning)
+	}
+	fmt.Println()
 
 	add := func(name string, cells int, r testing.BenchmarkResult) {
 		row := engineResult{

@@ -1,0 +1,265 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"repro/internal/core/solver"
+	"repro/internal/grid"
+	"repro/internal/mpi"
+	"repro/internal/perfmodel"
+)
+
+// haloResult is one row of the BENCH_2.json report: one (layout,
+// discipline, topology, subgrid) cell of the halo-exchange sweep.
+type haloResult struct {
+	Layout     string  `json:"layout"`     // per-field | coalesced
+	Discipline string  `json:"discipline"` // copy | zero-copy
+	Topo       string  `json:"topo"`
+	Subgrid    string  `json:"subgrid"` // per-rank dims
+	Ranks      int     `json:"ranks"`
+	NsPerStep  float64 `json:"ns_per_step"`
+	// Per-step message traffic totals across all ranks, measured at the
+	// runtime's delivery point (not modeled).
+	VelMsgs      float64 `json:"vel_msgs"`
+	StressMsgs   float64 `json:"stress_msgs"`
+	VelFloats    float64 `json:"vel_floats"`
+	StressFloats float64 `json:"stress_floats"`
+	Checksum     float64 `json:"checksum"`
+}
+
+// haloReduction summarizes the per-phase message-count cut of one
+// (topology, subgrid) pair, per-field vs coalesced.
+type haloReduction struct {
+	Topo             string  `json:"topo"`
+	Subgrid          string  `json:"subgrid"`
+	VelReduction     float64 `json:"vel_reduction"`
+	StressReduction  float64 `json:"stress_reduction"`
+	ZeroCopySpeedup  float64 `json:"zero_copy_speedup"` // per-field / coalesced ns/step
+	ChecksumsMatched bool    `json:"checksums_matched"` // bit-identity smoke
+}
+
+// haloFit is the measured-sweep validation of the Eq. 7/8 per-message
+// extension: alpha and beta fitted from the per-field zero-copy samples,
+// then the per-field/coalesced time ratio predicted and compared.
+type haloFit struct {
+	AlphaSec       float64 `json:"alpha_sec_per_msg"`
+	BetaSecPerByte float64 `json:"beta_sec_per_byte"`
+	Topo           string  `json:"topo"`
+	Subgrid        string  `json:"subgrid"`
+	MeasuredRatio  float64 `json:"measured_ratio"`  // per-field / coalesced sec/step
+	PredictedRatio float64 `json:"predicted_ratio"` // MessageCost ratio at fitted alpha,beta
+	RelError       float64 `json:"rel_error"`
+}
+
+type haloReport struct {
+	GeneratedBy string          `json:"generated_by"`
+	GOOS        string          `json:"goos"`
+	GOARCH      string          `json:"goarch"`
+	GOMAXPROCS  int             `json:"gomaxprocs"`
+	NumCPU      int             `json:"num_cpu"`
+	Warning     string          `json:"warning,omitempty"`
+	Results     []haloResult    `json:"results"`
+	Reductions  []haloReduction `json:"reductions"`
+	Fit         *haloFit        `json:"fit,omitempty"`
+}
+
+// halo measures the per-field vs coalesced message layouts across buffer
+// disciplines, topologies and subgrid sizes, validates bit-identity via
+// checksums, and fits the performance model's per-message term against
+// the measured sweep. Writes BENCH_2.json (or outPath).
+func halo(outPath string, short bool) {
+	header("Halo: per-field vs coalesced message layouts")
+	rep := haloReport{
+		GeneratedBy: "cmd/benchtab -exp halo",
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+	}
+	fmt.Printf("GOMAXPROCS=%d NumCPU=%d\n", rep.GOMAXPROCS, rep.NumCPU)
+	if rep.GOMAXPROCS == 1 {
+		rep.Warning = "GOMAXPROCS=1: ranks and pool workers share one OS thread; " +
+			"timings measure serialized goroutine execution, not hardware parallelism"
+		fmt.Printf("WARNING: %s\n", rep.Warning)
+	}
+	fmt.Println()
+
+	// Subgrid sizes span the latency-dominated regime (16^3: coalescing's
+	// target, the strong-scaling limit) through the bandwidth-dominated
+	// one (64^3); step counts keep each cell's measured work comparable.
+	subgrids := []grid.Dims{{NX: 16, NY: 16, NZ: 16}, {NX: 32, NY: 32, NZ: 32}, {NX: 64, NY: 64, NZ: 64}}
+	stepsFor := func(d grid.Dims) int {
+		switch {
+		case d.NX <= 16:
+			return 400
+		case d.NX <= 32:
+			return 100
+		default:
+			return 30
+		}
+	}
+	if short {
+		subgrids = subgrids[:1]
+		stepsFor = func(grid.Dims) int { return 40 }
+	}
+	topos := []mpi.Cart{mpi.NewCart(1, 1, 1), mpi.NewCart(2, 1, 1), mpi.NewCart(2, 2, 1)}
+	model := solver.Asynchronous
+
+	type cellKey struct {
+		topo, sub string
+		coalesce  bool
+		copyMode  bool
+	}
+	type cell struct {
+		stats solver.HaloBenchResult
+		sec   float64
+	}
+	cells := map[cellKey]cell{}
+
+	// Timings come from RunHaloLayoutDuel — per-field and coalesced
+	// interleaved in one world, so scheduler/heap drift between separate
+	// runs cancels; message stats and checksums come from short
+	// per-layout runs (counts are deterministic, time-independent).
+	fmt.Printf("%-10s %-9s %-8s %-10s %14s %10s %10s %14s\n",
+		"layout", "disc", "topo", "subgrid", "ns/step", "vel msgs", "str msgs", "floats/step")
+	for _, topo := range topos {
+		for _, sub := range subgrids {
+			for _, copyMode := range []bool{false, true} {
+				pfSec, coSec := solver.RunHaloLayoutDuel(solver.HaloBenchConfig{
+					Topo: topo, Local: sub, Model: model,
+					CopyHalo: copyMode, Threads: 1, Steps: stepsFor(sub),
+				})
+				for _, coalesce := range []bool{false, true} {
+					r := solver.RunHaloExchangeBench(solver.HaloBenchConfig{
+						Topo: topo, Local: sub, Model: model,
+						CopyHalo: copyMode, Coalesce: coalesce,
+						Threads: 1, Steps: 3,
+					})
+					sec := pfSec
+					layout, disc := "per-field", "zero-copy"
+					if coalesce {
+						layout, sec = "coalesced", coSec
+					}
+					if copyMode {
+						disc = "copy"
+					}
+					topoS := fmt.Sprintf("%dx%dx%d", topo.PX, topo.PY, topo.PZ)
+					row := haloResult{
+						Layout: layout, Discipline: disc,
+						Topo: topoS, Subgrid: sub.String(), Ranks: topo.Size(),
+						NsPerStep: sec * 1e9,
+						VelMsgs:   r.VelMsgs, StressMsgs: r.StressMsgs,
+						VelFloats: r.VelFloats, StressFloats: r.StressFloats,
+						Checksum: r.Checksum,
+					}
+					rep.Results = append(rep.Results, row)
+					cells[cellKey{topoS, sub.String(), coalesce, copyMode}] = cell{stats: r, sec: sec}
+					fmt.Printf("%-10s %-9s %-8s %-10s %14.0f %10.1f %10.1f %14.0f\n",
+						layout, disc, topoS, sub.String(), row.NsPerStep,
+						row.VelMsgs, row.StressMsgs, row.VelFloats+row.StressFloats)
+				}
+			}
+		}
+	}
+
+	// Per-phase reduction factors and the bit-identity smoke: the checksum
+	// must agree across all four (layout, discipline) cells.
+	fmt.Printf("\n%-8s %-10s %12s %12s %14s %10s\n",
+		"topo", "subgrid", "vel cut", "stress cut", "zc speedup", "identical")
+	for _, topo := range topos {
+		if topo.Size() == 1 {
+			continue // no messages to reduce
+		}
+		topoS := fmt.Sprintf("%dx%dx%d", topo.PX, topo.PY, topo.PZ)
+		for _, sub := range subgrids {
+			pf := cells[cellKey{topoS, sub.String(), false, false}]
+			co := cells[cellKey{topoS, sub.String(), true, false}]
+			pfc := cells[cellKey{topoS, sub.String(), false, true}]
+			coc := cells[cellKey{topoS, sub.String(), true, true}]
+			red := haloReduction{
+				Topo: topoS, Subgrid: sub.String(),
+				VelReduction:    pf.stats.VelMsgs / co.stats.VelMsgs,
+				StressReduction: pf.stats.StressMsgs / co.stats.StressMsgs,
+				ZeroCopySpeedup: pf.sec / co.sec,
+				ChecksumsMatched: pf.stats.Checksum == co.stats.Checksum &&
+					pf.stats.Checksum == pfc.stats.Checksum && pf.stats.Checksum == coc.stats.Checksum,
+			}
+			rep.Reductions = append(rep.Reductions, red)
+			fmt.Printf("%-8s %-10s %11.1fx %11.1fx %13.2fx %10v\n",
+				red.Topo, red.Subgrid, red.VelReduction, red.StressReduction,
+				red.ZeroCopySpeedup, red.ChecksumsMatched)
+		}
+	}
+
+	// Fit alpha/beta from the zero-copy sweep, both layouts (message
+	// counts vary with topology and layout, bytes with subgrid size —
+	// separable), then predict the per-field/coalesced ratio on the
+	// latency-dominated cell and compare against the measurement. The fit
+	// is restricted to cells whose aggregate messages fit in L1
+	// (<=32 KiB): that is the alpha*nmsgs + beta*bytes model's domain —
+	// larger messages add cache-pipelining effects the two-term model
+	// does not (and should not) price.
+	const fitMaxMsgBytes = 32 << 10
+	var samples []perfmodel.CommSample
+	for _, topo := range topos {
+		topoS := fmt.Sprintf("%dx%dx%d", topo.PX, topo.PY, topo.PZ)
+		for _, sub := range subgrids {
+			if 9*grid.Ghost*sub.NY*sub.NZ*4 > fitMaxMsgBytes {
+				continue
+			}
+			for _, coalesce := range []bool{false, true} {
+				r := cells[cellKey{topoS, sub.String(), coalesce, false}]
+				samples = append(samples, perfmodel.CommSample{
+					Msgs:  int(r.stats.VelMsgs + r.stats.StressMsgs + 0.5),
+					Bytes: (r.stats.VelFloats + r.stats.StressFloats) * 4,
+					Sec:   r.sec,
+				})
+			}
+		}
+	}
+	alpha, beta, ok := perfmodel.FitAlphaBeta(samples)
+	if ok {
+		// Validate on the latency-dominated cell, where the layouts differ
+		// most and the ratio is least noise-sensitive.
+		sub := subgrids[0]
+		topoS := "2x2x1"
+		pf := cells[cellKey{topoS, sub.String(), false, false}]
+		co := cells[cellKey{topoS, sub.String(), true, false}]
+		predPF := perfmodel.MessageCost(alpha, beta, int(pf.stats.VelMsgs+pf.stats.StressMsgs+0.5), (pf.stats.VelFloats+pf.stats.StressFloats)*4)
+		predCO := perfmodel.MessageCost(alpha, beta, int(co.stats.VelMsgs+co.stats.StressMsgs+0.5), (co.stats.VelFloats+co.stats.StressFloats)*4)
+		fit := &haloFit{
+			AlphaSec: alpha, BetaSecPerByte: beta,
+			Topo: topoS, Subgrid: sub.String(),
+			MeasuredRatio:  pf.sec / co.sec,
+			PredictedRatio: predPF / predCO,
+		}
+		fit.RelError = abs(fit.PredictedRatio-fit.MeasuredRatio) / fit.MeasuredRatio
+		rep.Fit = fit
+		fmt.Printf("\nfitted alpha = %.3g s/msg, beta = %.3g s/B\n", alpha, beta)
+		fmt.Printf("per-field/coalesced ratio on %s %s: measured %.2f, predicted %.2f (rel err %.1f%%)\n",
+			fit.Topo, fit.Subgrid, fit.MeasuredRatio, fit.PredictedRatio, 100*fit.RelError)
+	} else {
+		fmt.Println("\nalpha/beta fit skipped: samples cannot separate the terms")
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchtab: write %s: %v\n", outPath, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nwrote %s (%d rows)\n", outPath, len(rep.Results))
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -10,6 +10,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"time"
 
@@ -25,10 +27,48 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table1, table2, table3, fig3, fig11, fig12, fig13, fig14, fig19, fig21, fig22, fig23, sustained, engine, all)")
-	out := flag.String("out", "BENCH_1.json", "output path for the engine experiment's JSON report")
+	exp := flag.String("exp", "all", "experiment id (table1, table2, table3, fig3, fig11, fig12, fig13, fig14, fig19, fig21, fig22, fig23, sustained, engine, halo, all)")
+	out := flag.String("out", "", "output path for a benchmark experiment's JSON report (default: BENCH_1.json for engine, BENCH_2.json for halo)")
+	short := flag.Bool("short", false, "reduced sweep for CI smoke runs (halo)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchtab: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "benchtab: memprofile: %v\n", err)
+			}
+		}()
+	}
+
+	// Benchmark experiments resolve their own default report path.
+	outFor := func(def string) string {
+		if *out != "" {
+			return *out
+		}
+		return def
+	}
 	exps := map[string]func(){
 		"table1":    table1,
 		"table2":    table2,
@@ -43,7 +83,8 @@ func main() {
 		"fig22":     fig21to23,
 		"fig23":     fig21to23,
 		"sustained": sustained,
-		"engine":    func() { engine(*out) },
+		"engine":    func() { engine(outFor("BENCH_1.json")) },
+		"halo":      func() { halo(outFor("BENCH_2.json"), *short) },
 	}
 	if *exp == "all" {
 		for _, name := range []string{"table1", "table2", "table3", "sustained",

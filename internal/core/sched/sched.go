@@ -45,8 +45,8 @@ func (b *batch) run() {
 // the thread that owns the rank). The zero-size/nil Pool runs everything
 // inline, serially.
 type Pool struct {
-	size int          // total concurrency (workers + caller)
-	jobs chan *batch  // wake channel; each batch is enqueued once per worker
+	size int         // total concurrency (workers + caller)
+	jobs chan *batch // wake channel; each batch is enqueued once per worker
 	done chan struct{}
 }
 

@@ -1,0 +1,190 @@
+package solver
+
+import (
+	"repro/internal/grid"
+	"repro/internal/mpi"
+)
+
+// Coalesced halo messaging: instead of one message per (field, axis, side)
+// — up to 54 per step under the unique-tag scheme — every face bound for
+// one neighbor in one phase is packed at planner-computed offsets into a
+// single pooled buffer and sent as one message. On 2x2x1 this cuts the
+// stress phase from 6 messages per neighbor (async models) to 1, which is
+// what the per-message latency term of the extended performance model
+// (perfmodel Eq. 7/8, alpha*nmsgs) prices.
+//
+// Bit-identity with the per-field path holds by construction: packing
+// reads interior cells only, sections within one buffer are disjoint
+// sub-slices, and the ghost regions written by distinct (field, axis,
+// side) unpacks are disjoint — so neither the coalesced layout nor the
+// pool's tile schedule can reorder any load/store pair that aliases.
+
+// planKey caches coalesced layouts: the section set depends only on the
+// phase and on whether the reduced stress axis set applies.
+type planKey struct {
+	phase   int
+	reduced bool
+}
+
+// coalSection is one face's slot inside a coalesced message: field index
+// in the phase's field list, offset into the buffer, and length.
+type coalSection struct {
+	fi, off, n int
+}
+
+// coalMsg is the aggregate message for one (axis, side) neighbor.
+type coalMsg struct {
+	ax    grid.Axis
+	side  grid.Side
+	peer  int
+	total int // buffer length: sum of section lengths
+	secs  []coalSection
+}
+
+// coalPlan is the cached layout of one phase: the per-neighbor messages
+// plus a flattened (message, section) list that pack/unpack tiles index.
+type coalPlan struct {
+	msgs []coalMsg
+	flat []struct{ mi, si int }
+}
+
+// ctag builds the coalesced-message tag from phase, axis and direction of
+// travel. The 4096 base keeps the space disjoint from the per-field tags
+// (slot*3+ax)*2+1 <= 65, so mixed-discipline runs can never alias.
+func ctag(phase int, ax grid.Axis, dirHigh bool) int {
+	t := 4096 + (phase*3+int(ax))*2
+	if dirHigh {
+		t++
+	}
+	return t
+}
+
+// planFor returns (building and caching on first use) the coalesced layout
+// for one phase. fields must be the phase's field list in slot order; all
+// fields share the rank's subgrid dims, so the layout is stable for the
+// life of the halo.
+func (h *halo) planFor(phase int, model CommModel, fields []*grid.Field3) *coalPlan {
+	reduced := phase == phaseStress && (model == AsyncReduced || model == AsyncOverlap)
+	key := planKey{phase, reduced}
+	if p, ok := h.plans[key]; ok {
+		return p
+	}
+	axesOf := func(fi int) []grid.Axis {
+		if reduced {
+			return stressAxesReduced[fi]
+		}
+		return axesAll
+	}
+	p := &coalPlan{}
+	for ax := grid.X; ax <= grid.Z; ax++ {
+		for side := grid.Low; side <= grid.High; side++ {
+			peer := h.nbr[ax][side]
+			if peer < 0 {
+				continue
+			}
+			m := coalMsg{ax: ax, side: side, peer: peer}
+			for fi, f := range fields {
+				exchanged := false
+				for _, a := range axesOf(fi) {
+					if a == ax {
+						exchanged = true
+						break
+					}
+				}
+				if !exchanged {
+					continue
+				}
+				n := f.FaceLen(ax, grid.Ghost)
+				m.secs = append(m.secs, coalSection{fi: fi, off: m.total, n: n})
+				m.total += n
+			}
+			if len(m.secs) == 0 {
+				continue
+			}
+			mi := len(p.msgs)
+			p.msgs = append(p.msgs, m)
+			for si := range m.secs {
+				p.flat = append(p.flat, struct{ mi, si int }{mi, si})
+			}
+		}
+	}
+	h.plans[key] = p
+	return p
+}
+
+// coalesced buffer keys for the copy discipline, disjoint from the
+// per-field keys (<= ~2100): send 6000+, recv 6500+ per phase block.
+func ckeySend(phase, mi int) int { return 6000 + phase*100 + mi }
+func ckeyRecv(phase, mi int) int { return 6500 + phase*100 + mi }
+
+// postCoalesced posts the phase's exchange as one message per neighbor and
+// returns the finish function that waits and unpacks. Pack and unpack of
+// the face sections run as tiles on the rank's worker pool.
+func (h *halo) postCoalesced(phase int, model CommModel, fields []*grid.Field3) func() {
+	p := h.planFor(phase, model, fields)
+	if len(p.msgs) == 0 {
+		return func() {}
+	}
+
+	// Receives first: a message from the low neighbor was sent as its
+	// high-going message, and vice versa.
+	recvReqs := make([]*mpi.Request, len(p.msgs))
+	recvBufs := make([][]float32, len(p.msgs))
+	for mi := range p.msgs {
+		m := &p.msgs[mi]
+		rt := ctag(phase, m.ax, m.side == grid.Low)
+		if h.copyMode {
+			recvBufs[mi] = h.buf(ckeyRecv(phase, mi), m.total)
+			recvReqs[mi] = h.comm.Irecv(recvBufs[mi], m.peer, rt)
+		} else {
+			recvReqs[mi] = h.comm.IrecvTake(m.peer, rt)
+		}
+	}
+
+	// Pack all sections of all outgoing buffers as one tile queue, then
+	// send each aggregate.
+	sendBufs := make([][]float32, len(p.msgs))
+	for mi := range p.msgs {
+		m := &p.msgs[mi]
+		if h.copyMode {
+			sendBufs[mi] = h.buf(ckeySend(phase, mi), m.total)
+		} else {
+			sendBufs[mi] = mpi.GetBuffer(m.total)
+		}
+	}
+	h.pool.ForEachN(len(p.flat), func(t int) {
+		ft := p.flat[t]
+		m := &p.msgs[ft.mi]
+		sec := m.secs[ft.si]
+		fields[sec.fi].PackFaceAt(m.ax, m.side, grid.Ghost, sendBufs[ft.mi], sec.off)
+	})
+	for mi := range p.msgs {
+		m := &p.msgs[mi]
+		st := ctag(phase, m.ax, m.side == grid.High)
+		if h.copyMode {
+			h.comm.Isend(m.peer, st, sendBufs[mi])
+		} else {
+			h.comm.IsendOwned(m.peer, st, sendBufs[mi])
+		}
+	}
+
+	return func() {
+		for mi := range p.msgs {
+			recvReqs[mi].Wait()
+			if !h.copyMode {
+				recvBufs[mi] = recvReqs[mi].Data()
+			}
+		}
+		h.pool.ForEachN(len(p.flat), func(t int) {
+			ft := p.flat[t]
+			m := &p.msgs[ft.mi]
+			sec := m.secs[ft.si]
+			fields[sec.fi].UnpackFaceAt(m.ax, m.side, grid.Ghost, recvBufs[ft.mi], sec.off)
+		})
+		if !h.copyMode {
+			for mi := range recvBufs {
+				mpi.PutBuffer(recvBufs[mi])
+			}
+		}
+	}
+}

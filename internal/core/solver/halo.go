@@ -9,6 +9,7 @@ package solver
 
 import (
 	"repro/internal/core/fd"
+	"repro/internal/core/sched"
 	"repro/internal/grid"
 	"repro/internal/mpi"
 )
@@ -64,7 +65,7 @@ var stressAxesReduced = [6][]grid.Axis{
 	{grid.Y, grid.Z}, // syz
 }
 
-// halo manages ghost exchange for one rank. Two message disciplines:
+// halo manages ghost exchange for one rank. Two buffer disciplines:
 //
 //   - zero-copy (default): faces are packed into pooled buffers
 //     (mpi.GetBuffer) that are lent to the runtime with SendOwned and
@@ -74,6 +75,16 @@ var stressAxesReduced = [6][]grid.Axis{
 //   - copy (legacy, copyMode=true): the original path through
 //     mpi.Comm.Send's defensive copy, kept for benchmarking the
 //     zero-copy gain. Results are bit-identical.
+//
+// Orthogonally, two message layouts:
+//
+//   - per-field (default): one message per (field, axis, side), the
+//     paper's unique-tag scheme — up to 54 messages per step.
+//   - coalesced (coalesce=true): every face bound for one neighbor in
+//     one phase is packed at planned offsets into a single pooled buffer
+//     and sent as one tagged message — at most one message per neighbor
+//     per phase (see coalesce.go). Pack/unpack of the face sections runs
+//     as tiles on the rank's worker pool. Results are bit-identical.
 type halo struct {
 	comm *mpi.Comm
 	topo mpi.Cart
@@ -81,12 +92,22 @@ type halo struct {
 	nbr [3][2]int
 	// copyMode selects the legacy copying send path.
 	copyMode bool
+	// coalesce selects the one-message-per-neighbor layout.
+	coalesce bool
+	// pool runs coalesced pack/unpack sections as tiles; nil packs
+	// serially.
+	pool *sched.Pool
 	// Reusable pack buffers per field slot and axis/side (copy path only).
 	bufs map[int][]float32
+	// Cached coalesced layouts per (phase, reduced axis set).
+	plans map[planKey]*coalPlan
 }
 
-func newHalo(c *mpi.Comm, topo mpi.Cart, copyMode bool) *halo {
-	h := &halo{comm: c, topo: topo, copyMode: copyMode, bufs: map[int][]float32{}}
+func newHalo(c *mpi.Comm, topo mpi.Cart, copyMode, coalesce bool, pool *sched.Pool) *halo {
+	h := &halo{
+		comm: c, topo: topo, copyMode: copyMode, coalesce: coalesce,
+		pool: pool, bufs: map[int][]float32{}, plans: map[planKey]*coalPlan{},
+	}
 	for ax := 0; ax < 3; ax++ {
 		h.nbr[ax][0] = topo.Neighbor(c.Rank(), ax, -1)
 		h.nbr[ax][1] = topo.Neighbor(c.Rank(), ax, +1)
@@ -239,26 +260,46 @@ func stressAxes(model CommModel) func(int) []grid.Axis {
 	return func(int) []grid.Axis { return axesAll }
 }
 
+// phase identifiers for the coalesced tag scheme and plan cache.
+const (
+	phaseVelocity = 0
+	phaseStress   = 1
+)
+
+// post starts the exchange of one phase under the configured message
+// layout and returns the finish function that waits and unpacks — the
+// split the overlap model computes the interior inside.
+func (h *halo) post(phase int, model CommModel, fields []*grid.Field3, slots []int) func() {
+	axes := velocityAxes(model)
+	if phase == phaseStress {
+		axes = stressAxes(model)
+	}
+	if h.coalesce {
+		return h.postCoalesced(phase, model, fields)
+	}
+	return h.postAsync(fields, slots, axes)
+}
+
 // exchangeVelocities exchanges the three velocity components per model.
 func (h *halo) exchangeVelocities(s *fd.State, model CommModel) {
 	fields := s.Velocities()
 	slots := []int{0, 1, 2}
-	if model == Synchronous {
+	if model == Synchronous && !h.coalesce {
 		h.exchangeSync(fields, slots, velocityAxes(model))
 		return
 	}
-	h.postAsync(fields, slots, velocityAxes(model))()
+	h.post(phaseVelocity, model, fields, slots)()
 }
 
 // exchangeStresses exchanges the six stress components per model.
 func (h *halo) exchangeStresses(s *fd.State, model CommModel) {
 	fields := s.Stresses()
 	slots := []int{3, 4, 5, 6, 7, 8}
-	if model == Synchronous {
+	if model == Synchronous && !h.coalesce {
 		h.exchangeSync(fields, slots, stressAxes(model))
 		return
 	}
-	h.postAsync(fields, slots, stressAxes(model))()
+	h.post(phaseStress, model, fields, slots)()
 }
 
 // boundaryStrips splits a subgrid into the halo-adjacent strips (width w
@@ -300,11 +341,23 @@ func boundaryStrips(d grid.Dims, mask [3][2]bool, w int) ([]fd.Box, fd.Box) {
 	return strips, interior
 }
 
-// MessageVolume returns the number of float32 values a rank with the given
-// subgrid exchanges per step under the model (both wavefield phases),
-// counting only faces with neighbors. Used by tests and the performance
-// model to verify the 75%-reduction claim for normal stresses.
-func MessageVolume(d grid.Dims, nbrMask [3][2]bool, model CommModel) int {
+// MessageStats describes one rank's per-step halo traffic: the float32
+// volume (discipline-invariant) and the message counts per phase, which
+// coalescing reduces — the quantity the extended performance model
+// (perfmodel, Eq. 7/8 with the α·nmsgs term) prices.
+type MessageStats struct {
+	Floats     int // float32 values sent per step (both phases)
+	VelMsgs    int // messages sent in the velocity phase
+	StressMsgs int // messages sent in the stress phase
+}
+
+// Msgs returns the total messages sent per step.
+func (s MessageStats) Msgs() int { return s.VelMsgs + s.StressMsgs }
+
+// HaloStats returns the per-step halo traffic of a rank with the given
+// subgrid under the model and message layout, counting only faces with
+// neighbors. Coalescing changes message counts but never float volume.
+func HaloStats(d grid.Dims, nbrMask [3][2]bool, model CommModel, coalesced bool) MessageStats {
 	faceLen := func(ax grid.Axis) int {
 		switch ax {
 		case grid.X:
@@ -315,28 +368,51 @@ func MessageVolume(d grid.Dims, nbrMask [3][2]bool, model CommModel) int {
 			return grid.Ghost * d.NX * d.NY
 		}
 	}
-	countAxes := func(axes []grid.Axis) int {
-		tot := 0
+	countAxes := func(axes []grid.Axis) (floats, msgs int) {
 		for _, ax := range axes {
 			for side := 0; side < 2; side++ {
 				if nbrMask[int(ax)][side] {
-					tot += faceLen(ax)
+					floats += faceLen(ax)
+					msgs++
 				}
 			}
 		}
-		return tot
+		return
 	}
-	total := 0
-	for i := 0; i < 3; i++ { // velocities: always all axes
-		total += countAxes(axesAll)
-		_ = i
-	}
+	var st MessageStats
+	vf, vm := countAxes(axesAll)
+	st.Floats += 3 * vf // velocities: always all axes
+	st.VelMsgs = 3 * vm
 	for c := 0; c < 6; c++ {
+		axes := axesAll
 		if model == AsyncReduced || model == AsyncOverlap {
-			total += countAxes(stressAxesReduced[c])
-		} else {
-			total += countAxes(axesAll)
+			axes = stressAxesReduced[c]
 		}
+		sf, sm := countAxes(axes)
+		st.Floats += sf
+		st.StressMsgs += sm
 	}
-	return total
+	if coalesced {
+		// One message per neighbor per phase; every neighbor receives at
+		// least one velocity and one stress section in every model.
+		neighbors := 0
+		for ax := 0; ax < 3; ax++ {
+			for side := 0; side < 2; side++ {
+				if nbrMask[ax][side] {
+					neighbors++
+				}
+			}
+		}
+		st.VelMsgs = neighbors
+		st.StressMsgs = neighbors
+	}
+	return st
+}
+
+// MessageVolume returns the number of float32 values a rank with the given
+// subgrid exchanges per step under the model (both wavefield phases),
+// counting only faces with neighbors. Used by tests and the performance
+// model to verify the 75%-reduction claim for normal stresses.
+func MessageVolume(d grid.Dims, nbrMask [3][2]bool, model CommModel) int {
+	return HaloStats(d, nbrMask, model, false).Floats
 }

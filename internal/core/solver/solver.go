@@ -69,6 +69,14 @@ type Options struct {
 	// path. Results are bit-identical; the switch exists so benchmarks can
 	// isolate the messaging-layer gain.
 	CopyHalo bool
+	// CoalesceHalo packs every face bound for one neighbor in one phase
+	// into a single pooled buffer sent as one message (see coalesce.go),
+	// instead of the per-field unique-tag scheme — at most one message per
+	// neighbor per phase. Pack/unpack run as tiles on the rank's worker
+	// pool. Results are bit-identical under every comm model and both
+	// buffer disciplines; the tuner enables it when the per-message cost
+	// dominates (multi-rank runs with small faces).
+	CoalesceHalo bool
 
 	ABC         ABCKind
 	PMLWidth    int
@@ -213,9 +221,9 @@ func runRank(c *mpi.Comm, q cvm.Querier, dc decomp.Decomp, opt Options) (*Result
 	rs := &rankState{comm: c, sub: dc.SubFor(c.Rank())}
 	rs.med = medium.FromCVM(q, dc, rs.sub, opt.H)
 	rs.st = fd.NewState(rs.sub.Local)
-	rs.hx = newHalo(c, opt.Topo, opt.CopyHalo)
 	rs.pool = sched.NewPool(opt.Threads)
 	defer rs.pool.Close()
+	rs.hx = newHalo(c, opt.Topo, opt.CopyHalo, opt.CoalesceHalo, rs.pool)
 	for ax := 0; ax < 3; ax++ {
 		rs.nbrMask[ax][0] = opt.Topo.Neighbor(c.Rank(), ax, -1) >= 0
 		rs.nbrMask[ax][1] = opt.Topo.Neighbor(c.Rank(), ax, +1) >= 0
@@ -372,7 +380,7 @@ func (rs *rankState) advance(opt Options, dt, tNow float64, tm *Timing) {
 		}
 		tm.Comp += time.Since(t0).Seconds()
 		t0 = time.Now()
-		fin := rs.hx.postAsync(rs.st.Velocities(), []int{0, 1, 2}, velocityAxes(opt.Comm))
+		fin := rs.hx.post(phaseVelocity, opt.Comm, rs.st.Velocities(), []int{0, 1, 2})
 		tm.Comm += time.Since(t0).Seconds()
 		t0 = time.Now()
 		fd.UpdateVelocityTiled(rs.st, rs.med, dt, intersect(inner, rs.compBox), opt.Variant, opt.Blocking, rs.pool)
@@ -427,7 +435,7 @@ func (rs *rankState) advance(opt Options, dt, tNow float64, tm *Timing) {
 		rs.srcs.InjectRegion(rs.st, dt, tNow, inner2, false) // strip sources
 		tm.Comp += time.Since(t0).Seconds()
 		t0 = time.Now()
-		fin := rs.hx.postAsync(rs.st.Stresses(), []int{3, 4, 5, 6, 7, 8}, stressAxes(opt.Comm))
+		fin := rs.hx.post(phaseStress, opt.Comm, rs.st.Stresses(), []int{3, 4, 5, 6, 7, 8})
 		tm.Comm += time.Since(t0).Seconds()
 		t0 = time.Now()
 		fd.ForEachTile(inner2, opt.Blocking, rs.pool, func(b fd.Box) {

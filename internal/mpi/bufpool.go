@@ -3,6 +3,7 @@ package mpi
 import (
 	"math/bits"
 	"sync"
+	"sync/atomic"
 )
 
 // Message-buffer pool for the zero-copy (buffer-lending) send path.
@@ -10,62 +11,109 @@ import (
 // lends it with SendOwned, the receiver unpacks and returns it with
 // PutBuffer — one pack, zero copies, zero steady-state allocations.
 //
-// The pool is a set of power-of-two capacity classes, each a LIFO free
-// list under its own mutex. A plain mutex-guarded slice (rather than
-// sync.Pool) keeps Put free of boxing allocations, which is the point of
-// the exercise: the legacy Send path costs one allocation plus one copy
+// Two refinements over a plain power-of-two pool, both driven by the
+// BENCH_1 halo-send regression:
+//
+//   - Half-step size classes: capacities alternate 2^k and 3·2^(k-1)
+//     (1, 2, 3, 4, 6, 8, 12, 16, ...), so a FaceLen-sized pack (e.g.
+//     2·NY·NZ, rarely a power of two) rounds up by at most 33% instead
+//     of up to 2x. Oversized classes waste memory and, worse, split the
+//     circulation: a producer that Gets from class k and a consumer that
+//     Puts into class k-1 never recycle each other's buffers.
+//   - Sharded free lists: each class is split into small LIFO shards
+//     under their own mutexes, with round-robin placement and steal-on-
+//     miss, so the sender's Get and the receiver's Put of a pipelined
+//     exchange don't serialize on one lock.
+//
+// A mutex-guarded slice (rather than sync.Pool) keeps Put free of boxing
+// allocations: the legacy Send path costs one allocation plus one copy
 // per message, and -benchmem must show the lending path at zero.
 
-const maxBufClass = 31
+// maxClass covers capacities up to 2^31 values.
+const maxClass = 62
 
-var bufClasses [maxBufClass + 1]struct {
-	mu   sync.Mutex
-	free [][]float32
+const bufShards = 4
+
+var bufClasses [maxClass + 1]struct {
+	shards [bufShards]struct {
+		mu   sync.Mutex
+		free [][]float32
+		_    [40]byte // keep neighboring shard locks off one cache line
+	}
+	rr atomic.Uint32 // round-robin cursor for placement/stealing
 }
 
-// classFor returns the smallest power-of-two class holding n values.
+// classFor returns the smallest class whose capacity holds n values.
+// Capacities are 1, 2, 3, 4, 6, 8, 12, 16, 24, ... (2^k and 3·2^(k-1)).
 func classFor(n int) int {
 	if n <= 1 {
 		return 0
 	}
-	return bits.Len(uint(n - 1))
+	k := bits.Len(uint(n - 1)) // smallest k with 2^k >= n
+	if k >= 2 && n <= 3<<(k-2) {
+		return 2*(k-1) + 1 // the half step 3·2^(k-2) suffices
+	}
+	return 2 * k
+}
+
+// putClassFor returns the largest class whose capacity is <= cap, i.e.
+// the class from which a Get may safely return this buffer.
+func putClassFor(cap int) int {
+	k := bits.Len(uint(cap)) - 1 // largest k with 2^k <= cap
+	if k >= 1 && cap >= 3<<(k-1) {
+		return 2*k + 1
+	}
+	return 2 * k
+}
+
+// classCapacity returns the nominal capacity of class c.
+func classCapacity(c int) int {
+	k := c / 2
+	if c%2 == 0 {
+		return 1 << k
+	}
+	return 3 << (k - 1)
 }
 
 // GetBuffer returns a []float32 of length n from the pool, allocating a
-// power-of-two-capacity buffer on a miss. Contents are unspecified (the
-// caller overwrites them by packing).
+// class-capacity buffer on a miss. Contents are unspecified (the caller
+// overwrites them by packing).
 func GetBuffer(n int) []float32 {
 	c := classFor(n)
-	if c > maxBufClass {
+	if c > maxClass {
 		return make([]float32, n)
 	}
 	p := &bufClasses[c]
-	p.mu.Lock()
-	if last := len(p.free) - 1; last >= 0 {
-		b := p.free[last]
-		p.free = p.free[:last]
-		p.mu.Unlock()
-		return b[:n]
+	start := int(p.rr.Load())
+	for i := 0; i < bufShards; i++ {
+		s := &p.shards[(start+i)%bufShards]
+		s.mu.Lock()
+		if last := len(s.free) - 1; last >= 0 {
+			b := s.free[last]
+			s.free[last] = nil
+			s.free = s.free[:last]
+			s.mu.Unlock()
+			return b[:n]
+		}
+		s.mu.Unlock()
 	}
-	p.mu.Unlock()
-	return make([]float32, n, 1<<c)
+	return make([]float32, n, classCapacity(c))
 }
 
 // PutBuffer recycles a buffer previously obtained from GetBuffer (or
 // received via RecvTake/IrecvTake). Safe to call with any slice; buffers
-// land in the class their capacity fully covers.
+// land in the largest class their capacity fully covers.
 func PutBuffer(b []float32) {
 	if cap(b) == 0 {
 		return
 	}
-	// Largest class n with 1<<n <= cap: Get from this class may return the
-	// buffer for any request up to its capacity.
-	c := bits.Len(uint(cap(b))) - 1
-	if c > maxBufClass {
+	c := putClassFor(cap(b))
+	if c > maxClass {
 		return
 	}
 	p := &bufClasses[c]
-	p.mu.Lock()
-	p.free = append(p.free, b[:cap(b)])
-	p.mu.Unlock()
+	s := &p.shards[int(p.rr.Add(1))%bufShards]
+	s.mu.Lock()
+	s.free = append(s.free, b[:cap(b)])
+	s.mu.Unlock()
 }

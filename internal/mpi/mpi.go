@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // AnySource matches a message from any source rank in Recv/Irecv.
@@ -33,10 +34,18 @@ type message struct {
 }
 
 // inbox holds undelivered messages and pending receivers for one rank.
+// The queue is stored in arrival order with a head cursor: queue[head:]
+// are the live messages. Popping the oldest match is O(1) at the head
+// (the overwhelmingly common case — per-pair FIFO with matching tags)
+// instead of an O(len) slice shift, which matters when an eager sender
+// runs ahead of its receiver and the backlog grows to thousands of
+// messages (the BENCH_1 zero-copy regression: every Recv shifted the
+// whole backlog with memmove).
 type inbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	queue  []message
+	head   int
 	seq    uint64
 	closed bool
 }
@@ -51,6 +60,12 @@ func newInbox() *inbox {
 type World struct {
 	size    int
 	inboxes []*inbox
+
+	// Message-traffic counters (point-to-point only, collectives
+	// included): the measured side of the perfmodel's per-message
+	// latency term. Read with MessageStats, zero with ResetMessageStats.
+	sentMsgs   atomic.Uint64
+	sentFloats atomic.Uint64
 
 	barrierMu   sync.Mutex
 	barrierCond *sync.Cond
@@ -73,6 +88,20 @@ func NewWorld(size int) *World {
 
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.size }
+
+// MessageStats returns the total point-to-point messages and float32
+// values delivered since creation (or the last ResetMessageStats),
+// summed over all ranks. Used by the halo benchmarks and tests to verify
+// message-count claims (coalescing reduces counts, never float volume).
+func (w *World) MessageStats() (msgs, floats uint64) {
+	return w.sentMsgs.Load(), w.sentFloats.Load()
+}
+
+// ResetMessageStats zeroes the message-traffic counters.
+func (w *World) ResetMessageStats() {
+	w.sentMsgs.Store(0)
+	w.sentFloats.Store(0)
+}
 
 // Run executes body concurrently on every rank and blocks until all ranks
 // return. If any rank panics, Run re-panics with the first panic value
@@ -165,10 +194,20 @@ func (c *Comm) deliver(dst, tag int, data []float32) {
 		b.mu.Unlock()
 		panic("mpi: send on aborted world")
 	}
+	// Reclaim the dead prefix before growing the queue, so steady-state
+	// pipelining reuses capacity instead of appending forever.
+	if b.head > 32 && b.head*2 >= len(b.queue) {
+		n := copy(b.queue, b.queue[b.head:])
+		clear(b.queue[n:])
+		b.queue = b.queue[:n]
+		b.head = 0
+	}
 	b.seq++
 	b.queue = append(b.queue, message{src: c.rank, tag: tag, data: data, seq: b.seq})
 	b.cond.Broadcast()
 	b.mu.Unlock()
+	c.world.sentMsgs.Add(1)
+	c.world.sentFloats.Add(uint64(len(data)))
 }
 
 // Status describes a completed receive.
@@ -199,24 +238,33 @@ func (c *Comm) RecvTake(src, tag int) ([]float32, Status) {
 }
 
 // takeMatch removes and returns the earliest-arrived message matching
-// (src, tag) from this rank's inbox, blocking until one exists.
+// (src, tag) from this rank's inbox, blocking until one exists. The
+// queue is in arrival (seq) order, so the first match is the earliest;
+// the scan stops there. A head-of-queue match — the common case — pops
+// in O(1) by advancing the head cursor; an interior match (out-of-order
+// tag arrival) shifts only the messages ahead of it.
 func (c *Comm) takeMatch(src, tag int) message {
 	b := c.world.inboxes[c.rank]
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	for {
-		best := -1
-		for i, m := range b.queue {
+		for i := b.head; i < len(b.queue); i++ {
+			m := b.queue[i]
 			if (src == AnySource || m.src == src) && (tag == AnyTag || m.tag == tag) {
-				if best == -1 || m.seq < b.queue[best].seq {
-					best = i
+				if i == b.head {
+					b.queue[i] = message{} // release the payload reference
+					b.head++
+					if b.head == len(b.queue) {
+						b.queue = b.queue[:0]
+						b.head = 0
+					}
+				} else {
+					copy(b.queue[b.head+1:i+1], b.queue[b.head:i])
+					b.queue[b.head] = message{}
+					b.head++
 				}
+				return m
 			}
-		}
-		if best >= 0 {
-			m := b.queue[best]
-			b.queue = append(b.queue[:best], b.queue[best+1:]...)
-			return m
 		}
 		if b.closed {
 			panic("mpi: recv on aborted world")
@@ -448,7 +496,7 @@ func (c *Comm) SortedTags() []int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	seen := map[int]bool{}
-	for _, m := range b.queue {
+	for _, m := range b.queue[b.head:] {
 		seen[m.tag] = true
 	}
 	tags := make([]int, 0, len(seen))

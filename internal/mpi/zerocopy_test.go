@@ -74,13 +74,16 @@ func TestBufferPoolRecycles(t *testing.T) {
 	// power-of-two class returns the recycled backing array.
 	b := GetBuffer(100)
 	base := &b[0]
+	if cap(b) != 128 {
+		t.Fatalf("cap = %d, want the 128 half-step class", cap(b))
+	}
 	PutBuffer(b)
-	c := GetBuffer(70) // same class: ceil-log2(70) = 7 == floor-log2(cap(b))
+	c := GetBuffer(110) // same class: 96 < 110 <= 128
 	if &c[0] != base {
 		t.Error("buffer not recycled within its size class")
 	}
-	if len(c) != 70 {
-		t.Errorf("len = %d, want 70", len(c))
+	if len(c) != 110 {
+		t.Errorf("len = %d, want 110", len(c))
 	}
 	PutBuffer(c)
 }

@@ -1,0 +1,65 @@
+package perfmodel
+
+// Fitting the Eq. 7/8 per-message extension against measured exchange
+// sweeps (cmd/benchtab -exp halo): the exchange time of a phase is modeled
+// as MessageCost = alpha*nmsgs + bytes*beta, and (alpha, beta) are
+// recovered from measurements by linear least squares. Decorrelating the
+// two terms requires samples that vary byte volume independently of
+// message count — the halo sweep runs two subgrid sizes per topology, so
+// bytes change 4x while counts stay fixed.
+
+// MessageCost prices one exchange: the per-message latency term plus the
+// volume term (alpha in seconds per message, beta in seconds per byte).
+func MessageCost(alpha, beta float64, msgs int, bytes float64) float64 {
+	return alpha*float64(msgs) + beta*bytes
+}
+
+// CommSample is one measured exchange: msgs messages carrying bytes total,
+// observed to take sec seconds.
+type CommSample struct {
+	Msgs  int
+	Bytes float64
+	Sec   float64
+}
+
+// FitAlphaBeta recovers (alpha, beta) from measured samples by relative
+// least squares: min sum ((alpha*msgs + beta*bytes - sec)/sec)^2. The
+// 1/sec weighting keeps microsecond-scale (latency-dominated) samples
+// from being drowned by millisecond-scale (bandwidth-dominated) ones —
+// without it, alpha is determined entirely by the largest cells, where
+// the latency term is in the noise. It returns ok=false when the samples
+// cannot separate the two terms (fewer than two usable samples, or msgs
+// and bytes perfectly correlated).
+func FitAlphaBeta(samples []CommSample) (alpha, beta float64, ok bool) {
+	var smm, smb, sbb, sm, sb float64
+	n := 0
+	for _, s := range samples {
+		if s.Sec <= 0 || (s.Msgs == 0 && s.Bytes == 0) {
+			continue
+		}
+		m := float64(s.Msgs) / s.Sec
+		b := s.Bytes / s.Sec
+		smm += m * m
+		smb += m * b
+		sbb += b * b
+		sm += m
+		sb += b
+		n++
+	}
+	if n < 2 {
+		return 0, 0, false
+	}
+	det := smm*sbb - smb*smb
+	if det == 0 || smm == 0 || sbb == 0 {
+		return 0, 0, false
+	}
+	// Guard against near-singular systems (msgs proportional to bytes
+	// across every sample): the determinant collapses relative to the
+	// matrix scale and the solution is numerically meaningless.
+	if det < 1e-9*smm*sbb {
+		return 0, 0, false
+	}
+	alpha = (sm*sbb - sb*smb) / det
+	beta = (smm*sb - smb*sm) / det
+	return alpha, beta, true
+}

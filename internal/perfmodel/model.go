@@ -40,6 +40,11 @@ type Job struct {
 	// ~35% but pays idle-thread overhead that grows as the per-process
 	// subdomain approaches the arithmetic limits of the decomposition.
 	HybridThreads int
+	// CoalescedComm models the coalesced halo layout (solver coalesce.go):
+	// one message per neighbor per wavefield phase instead of one per
+	// (field, axis, side), shrinking the per-message latency term of Eq. 7
+	// while leaving the byte volume unchanged.
+	CoalescedComm bool
 }
 
 // Breakdown is the Eq. 7 decomposition of one time step, in seconds.
@@ -114,16 +119,26 @@ func StepTime(j Job) Breakdown {
 	bytesX := (velMsgs + strMsgsX) * 2 * faceYZ
 	bytesY := (velMsgs + strMsgsY) * 2 * faceXZ
 	bytesZ := (velMsgs + strMsgsZ) * 2 * faceXY
+	// Messages an interior rank sends per step: one per (component, axis,
+	// side), i.e. velocities 3x3x2 = 18 plus stresses per the axis sets —
+	// 54 total, 36 under reduced communication. Coalescing collapses this
+	// to one message per neighbor per phase: 6 neighbors x 2 phases = 12.
+	msgsStep := 2 * (3*velMsgs + strMsgsX + strMsgsY + strMsgsZ)
 	nMsgsPerPhase := 2 * (velMsgs + strMsgsX + strMsgsY + strMsgsZ) // both sides
+	if j.CoalescedComm {
+		msgsStep = 12
+		nMsgsPerPhase = 2 * (1 + 3) // one aggregate per side: velocity + 3 stress axes
+	}
 
 	if v.Async {
 		// Asynchronous: transfers of all faces proceed concurrently; the
-		// cost is a handful of latencies plus the largest per-link volume,
-		// plus the MPI_Waitall skew from boundary/interior load imbalance,
-		// which grows slowly with scale (§V.A) and which the reduced
-		// communication set trims (fewer messages to straggle on).
+		// latency term scales with the per-step message count (Eq. 7
+		// extended: alpha*nmsgs + bytes*beta), plus the largest per-link
+		// volume, plus the MPI_Waitall skew from boundary/interior load
+		// imbalance, which grows slowly with scale (§V.A) and which the
+		// reduced communication set trims (fewer messages to straggle on).
 		maxLink := math.Max(bytesX/2, math.Max(bytesY/2, bytesZ/2))
-		b.Comm = 6*m.Alpha + maxLink*m.Beta
+		b.Comm = m.Alpha*msgsStep + maxLink*m.Beta
 		skew := 0.05
 		if v.ReducedComm {
 			skew = 0.035
