@@ -26,6 +26,7 @@ import (
 	"repro/internal/cvm"
 	"repro/internal/grid"
 	"repro/internal/mpi"
+	"repro/internal/telemetry"
 )
 
 // Dims is the global grid extent in cells.
@@ -51,6 +52,14 @@ type Friction = rupture.Friction
 
 // GMPE is a ground-motion prediction equation (Fig 23 comparisons).
 type GMPE = analysis.GMPE
+
+// TelemetryOptions enables the per-rank phase instrumentation; the
+// aggregated report lands in Result.Telemetry and can be exported as a
+// Chrome trace with its WriteChromeTrace method.
+type TelemetryOptions = telemetry.Options
+
+// TelemetryReport is the aggregated cross-rank phase report.
+type TelemetryReport = telemetry.Report
 
 // Comm models (§IV.A of the paper).
 const (
@@ -105,6 +114,10 @@ type Scenario struct {
 	Fault     *FaultSpec
 	Receivers [][3]int
 	TrackPGV  bool
+
+	// Telemetry enables per-rank phase instrumentation (nil: off, zero
+	// overhead beyond nil checks). Results are bit-identical either way.
+	Telemetry *TelemetryOptions
 }
 
 // Run executes a wave-propagation (AWM) or dynamic-rupture (DFR) scenario.
@@ -131,6 +144,7 @@ func Run(q Model, sc Scenario) (*Result, error) {
 		Fault:        sc.Fault,
 		Receivers:    sc.Receivers,
 		TrackPGV:     sc.TrackPGV,
+		Telemetry:    sc.Telemetry,
 	}
 	if sc.Ranks > 1 {
 		if sc.Fault != nil {

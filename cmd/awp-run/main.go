@@ -28,6 +28,8 @@ func main() {
 	srcI := flag.Int("si", -1, "source i (default center)")
 	srcJ := flag.Int("sj", -1, "source j (default center)")
 	srcK := flag.Int("sk", -1, "source k (default center)")
+	trace := flag.String("trace", "", "write a Chrome trace-event JSON (chrome://tracing) of the run to this file; implies telemetry")
+	traceEvents := flag.Int("trace-events", 1<<15, "per-rank trace ring capacity (oldest events overwritten)")
 	flag.Parse()
 
 	if *srcI < 0 {
@@ -76,6 +78,9 @@ func main() {
 		Receivers: [][3]int{{*srcI, *srcJ, 0}, {*nx - 10, *srcJ, 0}},
 		TrackPGV:  true,
 	}
+	if *trace != "" {
+		sc.Telemetry = &awp.TelemetryOptions{TraceEvents: *traceEvents}
+	}
 	// The zero values of CommModel/ABCKind are already Synchronous/NoABC;
 	// assign through the typed constants.
 	switch cm {
@@ -115,4 +120,41 @@ func main() {
 	fmt.Printf("surface PGVH max: %.4e m/s\n", pgvMax)
 	fmt.Printf("timing: comp=%.2fs comm=%.2fs sync=%.2fs output=%.2fs\n",
 		res.Timing.Comp, res.Timing.Comm, res.Timing.Sync, res.Timing.Output)
+
+	if *trace != "" {
+		if err := writeTrace(*trace, res.Telemetry); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeTrace exports the telemetry report as Chrome trace-event JSON and
+// prints the per-phase summary table.
+func writeTrace(path string, rep *awp.TelemetryReport) error {
+	if rep == nil {
+		return fmt.Errorf("awp-run: no telemetry report in result")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("trace: %d events from %d ranks written to %s (%d dropped)\n",
+		len(rep.Events), rep.Ranks, path, rep.DroppedEvents)
+	fmt.Printf("%-12s %10s %12s %14s %14s\n", "phase", "spans", "total_s", "mean_s/step", "p99_s/step")
+	for _, ps := range rep.Phases {
+		if ps.Spans == 0 {
+			continue
+		}
+		fmt.Printf("%-12s %10d %12.6f %14.9f %14.9f\n",
+			ps.Phase, ps.Spans, ps.TotalSec, ps.MeanSec, ps.P99Sec)
+	}
+	return nil
 }

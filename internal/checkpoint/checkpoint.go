@@ -14,6 +14,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/mpiio"
 	"repro/internal/pfs"
+	"repro/internal/telemetry"
 )
 
 // FileName is the per-rank checkpoint naming scheme.
@@ -21,8 +22,11 @@ func FileName(dir string, rank, step int) string {
 	return fmt.Sprintf("%s/ckpt.%06d.step%09d", dir, rank, step)
 }
 
-// Save writes one rank's state at the given step. atten may be nil.
-func Save(fsys *pfs.FS, dir string, rank, step int, s *fd.State, atten *attenuation.Model) pfs.PhaseStats {
+// Save writes one rank's state at the given step. atten may be nil. An
+// optional telemetry recorder (at most one) attributes the serialization
+// wall time to the Checkpoint phase; existing call sites need no change.
+func Save(fsys *pfs.FS, dir string, rank, step int, s *fd.State, atten *attenuation.Model, rec ...*telemetry.Recorder) pfs.PhaseStats {
+	defer ckptSpan(rec).End()
 	var buf []float32
 	buf = append(buf, float32(step), float32(s.Dims.NX), float32(s.Dims.NY), float32(s.Dims.NZ))
 	hasAtten := float32(0)
@@ -45,8 +49,11 @@ func Save(fsys *pfs.FS, dir string, rank, step int, s *fd.State, atten *attenuat
 }
 
 // Load restores one rank's state saved at step. The destination state and
-// attenuation model must already have the right dims.
-func Load(fsys *pfs.FS, dir string, rank, step int, s *fd.State, atten *attenuation.Model) error {
+// attenuation model must already have the right dims. An optional
+// telemetry recorder (at most one) attributes the restore wall time to the
+// Checkpoint phase.
+func Load(fsys *pfs.FS, dir string, rank, step int, s *fd.State, atten *attenuation.Model, rec ...*telemetry.Recorder) error {
+	defer ckptSpan(rec).End()
 	path := FileName(dir, rank, step)
 	sz := fsys.Size(path)
 	if sz < 0 {
@@ -95,6 +102,15 @@ func Load(fsys *pfs.FS, dir string, rank, step int, s *fd.State, atten *attenuat
 
 func attenFields(a *attenuation.Model) []*grid.Field3 {
 	return []*grid.Field3{a.ZXX, a.ZYY, a.ZZZ, a.ZXY, a.ZXZ, a.ZYZ}
+}
+
+// ckptSpan opens a Checkpoint span on the first recorder, if any; a nil
+// recorder (or none) yields the no-op span.
+func ckptSpan(rec []*telemetry.Recorder) telemetry.Span {
+	if len(rec) == 0 {
+		return telemetry.Span{}
+	}
+	return rec[0].Span(telemetry.Checkpoint)
 }
 
 // ThrottledSave prices a full-job checkpoint phase in which nranks ranks

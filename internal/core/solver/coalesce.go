@@ -3,6 +3,7 @@ package solver
 import (
 	"repro/internal/grid"
 	"repro/internal/mpi"
+	"repro/internal/telemetry"
 )
 
 // Coalesced halo messaging: instead of one message per (field, axis, side)
@@ -152,12 +153,15 @@ func (h *halo) postCoalesced(phase int, model CommModel, fields []*grid.Field3) 
 			sendBufs[mi] = mpi.GetBuffer(m.total)
 		}
 	}
+	sp := h.tel.Span(telemetry.Pack)
 	h.pool.ForEachN(len(p.flat), func(t int) {
 		ft := p.flat[t]
 		m := &p.msgs[ft.mi]
 		sec := m.secs[ft.si]
 		fields[sec.fi].PackFaceAt(m.ax, m.side, grid.Ghost, sendBufs[ft.mi], sec.off)
 	})
+	sp.End()
+	sp = h.tel.Span(telemetry.Send)
 	for mi := range p.msgs {
 		m := &p.msgs[mi]
 		st := ctag(phase, m.ax, m.side == grid.High)
@@ -167,14 +171,18 @@ func (h *halo) postCoalesced(phase int, model CommModel, fields []*grid.Field3) 
 			h.comm.IsendOwned(m.peer, st, sendBufs[mi])
 		}
 	}
+	sp.End()
 
 	return func() {
+		sp := h.tel.Span(telemetry.Recv)
 		for mi := range p.msgs {
 			recvReqs[mi].Wait()
 			if !h.copyMode {
 				recvBufs[mi] = recvReqs[mi].Data()
 			}
 		}
+		sp.End()
+		sp = h.tel.Span(telemetry.Unpack)
 		h.pool.ForEachN(len(p.flat), func(t int) {
 			ft := p.flat[t]
 			m := &p.msgs[ft.mi]
@@ -186,5 +194,6 @@ func (h *halo) postCoalesced(phase int, model CommModel, fields []*grid.Field3) 
 				mpi.PutBuffer(recvBufs[mi])
 			}
 		}
+		sp.End()
 	}
 }

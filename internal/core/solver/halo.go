@@ -12,6 +12,7 @@ import (
 	"repro/internal/core/sched"
 	"repro/internal/grid"
 	"repro/internal/mpi"
+	"repro/internal/telemetry"
 )
 
 // CommModel selects the halo-exchange strategy. All models compute
@@ -101,6 +102,9 @@ type halo struct {
 	bufs map[int][]float32
 	// Cached coalesced layouts per (phase, reduced axis set).
 	plans map[planKey]*coalPlan
+	// tel records pack/send/recv/unpack spans; nil disables (every probe
+	// is a nil check).
+	tel *telemetry.Recorder
 }
 
 func newHalo(c *mpi.Comm, topo mpi.Cart, copyMode, coalesce bool, pool *sched.Pool) *halo {
@@ -149,12 +153,20 @@ func (h *halo) exchangeSync(fields []*grid.Field3, slots []int, axes func(int) [
 				}
 				if h.copyMode {
 					out := h.buf(tag(slots[fi], ax, side == 1)*2, n)
+					sp := h.tel.Span(telemetry.Pack)
 					f.PackFace(ax, sd, grid.Ghost, out)
+					sp.End()
+					sp = h.tel.Span(telemetry.Send)
 					h.comm.Send(peer, tag(slots[fi], ax, side == 1), out)
+					sp.End()
 				} else {
 					out := mpi.GetBuffer(n)
+					sp := h.tel.Span(telemetry.Pack)
 					f.PackFace(ax, sd, grid.Ghost, out)
+					sp.End()
+					sp = h.tel.Span(telemetry.Send)
 					h.comm.SendOwned(peer, tag(slots[fi], ax, side == 1), out)
+					sp.End()
 				}
 			}
 			for side := 0; side < 2; side++ {
@@ -167,11 +179,19 @@ func (h *halo) exchangeSync(fields []*grid.Field3, slots []int, axes func(int) [
 				// its high-side message, and vice versa.
 				if h.copyMode {
 					in := h.buf(tag(slots[fi], ax, side == 1)*2+1, n)
+					sp := h.tel.Span(telemetry.Recv)
 					h.comm.Recv(in, peer, tag(slots[fi], ax, side == 0))
+					sp.End()
+					sp = h.tel.Span(telemetry.Unpack)
 					f.UnpackFace(ax, sd, grid.Ghost, in)
+					sp.End()
 				} else {
+					sp := h.tel.Span(telemetry.Recv)
 					in, _ := h.comm.RecvTake(peer, tag(slots[fi], ax, side == 0))
+					sp.End()
+					sp = h.tel.Span(telemetry.Unpack)
 					f.UnpackFace(ax, sd, grid.Ghost, in)
+					sp.End()
 					mpi.PutBuffer(in)
 				}
 			}
@@ -223,19 +243,30 @@ func (h *halo) postAsync(fields []*grid.Field3, slots []int, axes func(int) []gr
 				if h.copyMode {
 					out := h.buf(2000+key, n)
 					key++
+					sp := h.tel.Span(telemetry.Pack)
 					f.PackFace(ax, grid.Side(side), grid.Ghost, out)
+					sp.End()
+					sp = h.tel.Span(telemetry.Send)
 					h.comm.Isend(peer, tag(slots[fi], ax, side == 1), out)
+					sp.End()
 				} else {
 					out := mpi.GetBuffer(n)
+					sp := h.tel.Span(telemetry.Pack)
 					f.PackFace(ax, grid.Side(side), grid.Ghost, out)
+					sp.End()
+					sp = h.tel.Span(telemetry.Send)
 					h.comm.IsendOwned(peer, tag(slots[fi], ax, side == 1), out)
+					sp.End()
 				}
 			}
 		}
 	}
 	return func() {
 		for _, p := range pend {
+			sp := h.tel.Span(telemetry.Recv)
 			p.req.Wait()
+			sp.End()
+			sp = h.tel.Span(telemetry.Unpack)
 			if h.copyMode {
 				p.f.UnpackFace(p.ax, p.sd, grid.Ghost, p.buf)
 			} else {
@@ -243,6 +274,7 @@ func (h *halo) postAsync(fields []*grid.Field3, slots []int, axes func(int) []gr
 				p.f.UnpackFace(p.ax, p.sd, grid.Ghost, in)
 				mpi.PutBuffer(in)
 			}
+			sp.End()
 		}
 	}
 }

@@ -1,11 +1,13 @@
 package solver
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/core/rupture"
 	"repro/internal/decomp"
 	"repro/internal/mpi"
+	"repro/internal/telemetry"
 )
 
 // collect gathers all per-rank outputs at rank 0 and assembles the Result.
@@ -95,6 +97,14 @@ func (rs *rankState) collect(c *mpi.Comm, dc decomp.Decomp, opt Options, dt floa
 		slipAll = c.Gather(slipPayload, 0)
 	}
 
+	// Telemetry: gather every rank's snapshot (step samples, neighbor
+	// counters, event trace) at rank 0 — the way the paper aggregates
+	// Jaguar timings — and reduce to the per-phase report.
+	var telAll [][]float32
+	if rs.tel != nil {
+		telAll = c.Gather(rs.tel.EncodeSnapshot(), 0)
+	}
+
 	if c.Rank() != 0 {
 		return nil, nil
 	}
@@ -105,6 +115,14 @@ func (rs *rankState) collect(c *mpi.Comm, dc decomp.Decomp, opt Options, dt floa
 		Timing: Timing{
 			Comp: tmax[0], Comm: tmax[1], Sync: tmax[2], Output: tmax[3],
 		},
+	}
+
+	if telAll != nil {
+		rep, err := telemetry.BuildReport(telAll)
+		if err != nil {
+			return nil, fmt.Errorf("solver: telemetry aggregation: %w", err)
+		}
+		res.Telemetry = rep
 	}
 
 	// Decode seismograms.

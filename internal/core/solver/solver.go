@@ -16,6 +16,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/medium"
 	"repro/internal/mpi"
+	"repro/internal/telemetry"
 )
 
 // ABCKind selects the absorbing boundary treatment (§II.D).
@@ -93,6 +94,14 @@ type Options struct {
 	Receivers   [][3]int // global (i,j,k) seismogram locations
 	RecordEvery int      // seismogram decimation (default 1)
 	TrackPGV    bool     // accumulate surface peak velocity maps
+
+	// Telemetry enables the per-rank instrumentation subsystem
+	// (internal/telemetry): span timers per phase, per-neighbor message
+	// counters, optional ring-buffered event traces, and the cross-rank
+	// aggregated report in Result.Telemetry. nil (the default) disables
+	// every probe — hot paths see only nil checks, the step schedule is
+	// unchanged, and results are bit-identical either way.
+	Telemetry *telemetry.Options
 }
 
 // Result collects rank-0 outputs of a run.
@@ -125,6 +134,10 @@ type Result struct {
 
 	// Timing is the per-phase max across ranks (the Eq. 7 decomposition).
 	Timing Timing
+
+	// Telemetry is the aggregated per-phase instrumentation report; nil
+	// unless Options.Telemetry was set.
+	Telemetry *telemetry.Report
 }
 
 // Timing is the measured Eq. 7 decomposition.
@@ -192,6 +205,7 @@ type rankState struct {
 	st   *fd.State
 	hx   *halo
 	pool *sched.Pool
+	tel  *telemetry.Recorder // nil: telemetry disabled
 
 	nbrMask [3][2]bool
 
@@ -224,6 +238,12 @@ func runRank(c *mpi.Comm, q cvm.Querier, dc decomp.Decomp, opt Options) (*Result
 	rs.pool = sched.NewPool(opt.Threads)
 	defer rs.pool.Close()
 	rs.hx = newHalo(c, opt.Topo, opt.CopyHalo, opt.CoalesceHalo, rs.pool)
+	if opt.Telemetry != nil {
+		rs.tel = telemetry.NewRecorder(c.Rank(), opt.Telemetry.TraceEvents)
+		c.SetTelemetry(rs.tel)
+		rs.pool.SetTelemetry(rs.tel)
+		rs.hx.tel = rs.tel
+	}
 	for ax := 0; ax < 3; ax++ {
 		rs.nbrMask[ax][0] = opt.Topo.Neighbor(c.Rank(), ax, -1) >= 0
 		rs.nbrMask[ax][1] = opt.Topo.Neighbor(c.Rank(), ax, +1) >= 0
@@ -295,6 +315,7 @@ func runRank(c *mpi.Comm, q cvm.Querier, dc decomp.Decomp, opt Options) (*Result
 		}
 
 		t0 := time.Now()
+		sp := rs.tel.Span(telemetry.Output)
 		if step%opt.RecordEvery == 0 {
 			for i := range rs.receivers {
 				r := &rs.receivers[i]
@@ -306,7 +327,9 @@ func runRank(c *mpi.Comm, q cvm.Querier, dc decomp.Decomp, opt Options) (*Result
 			}
 		}
 		rs.trackPGV()
+		sp.End()
 		tm.Output += time.Since(t0).Seconds()
+		rs.tel.StepEnd()
 	}
 
 	return rs.collect(c, dc, opt, dt, momentRate, tm)
@@ -372,27 +395,37 @@ func (rs *rankState) advance(opt Options, dt, tNow float64, tm *Timing) {
 	t0 := time.Now()
 	if opt.Comm == AsyncOverlap {
 		strips, inner := boundaryStrips(rs.sub.Local, rs.nbrMask, grid.Ghost)
+		sp := rs.tel.Span(telemetry.Velocity)
 		fd.ForEachTileMulti(rs.clipStrips(strips), opt.Blocking, rs.pool, func(b fd.Box) {
 			fd.UpdateVelocity(rs.st, rs.med, dt, b, opt.Variant, opt.Blocking)
 		})
+		sp.End()
+		sp = rs.tel.Span(telemetry.Boundary)
 		for _, z := range rs.zones {
 			z.UpdateVelocity(rs.st, rs.med, dt)
 		}
+		sp.End()
 		tm.Comp += time.Since(t0).Seconds()
 		t0 = time.Now()
 		fin := rs.hx.post(phaseVelocity, opt.Comm, rs.st.Velocities(), []int{0, 1, 2})
 		tm.Comm += time.Since(t0).Seconds()
 		t0 = time.Now()
+		sp = rs.tel.Span(telemetry.Velocity)
 		fd.UpdateVelocityTiled(rs.st, rs.med, dt, intersect(inner, rs.compBox), opt.Variant, opt.Blocking, rs.pool)
+		sp.End()
 		tm.Comp += time.Since(t0).Seconds()
 		t0 = time.Now()
 		fin()
 		tm.Comm += time.Since(t0).Seconds()
 	} else {
+		sp := rs.tel.Span(telemetry.Velocity)
 		fd.UpdateVelocityTiled(rs.st, rs.med, dt, rs.compBox, opt.Variant, opt.Blocking, rs.pool)
+		sp.End()
+		sp = rs.tel.Span(telemetry.Boundary)
 		for _, z := range rs.zones {
 			z.UpdateVelocity(rs.st, rs.med, dt)
 		}
+		sp.End()
 		if rs.fault != nil {
 			rs.fault.UpdateVelocity(rs.st, rs.med, dt)
 		}
@@ -402,13 +435,17 @@ func (rs *rankState) advance(opt Options, dt, tNow float64, tm *Timing) {
 		tm.Comm += time.Since(t0).Seconds()
 		if opt.Comm == Synchronous {
 			t0 = time.Now()
+			sp = rs.tel.Span(telemetry.Sync)
 			rs.comm.Barrier()
+			sp.End()
 			tm.Sync += time.Since(t0).Seconds()
 		}
 	}
 	t0 = time.Now()
 	if rs.fs != nil {
+		sp := rs.tel.Span(telemetry.Boundary)
 		rs.fs.ApplyVelocity(rs.st, rs.med)
+		sp.End()
 	}
 	tm.Comp += time.Since(t0).Seconds()
 
@@ -422,15 +459,12 @@ func (rs *rankState) advance(opt Options, dt, tNow float64, tm *Timing) {
 	t0 = time.Now()
 	if opt.Comm == AsyncOverlap {
 		strips, inner := boundaryStrips(rs.sub.Local, rs.nbrMask, grid.Ghost)
-		fd.ForEachTileMulti(rs.clipStrips(strips), opt.Blocking, rs.pool, func(b fd.Box) {
-			fd.UpdateStress(rs.st, rs.med, dt, b, opt.Variant, opt.Blocking)
-			if rs.atten != nil {
-				rs.atten.Apply(rs.st, rs.med, dt, b)
-			}
-		})
+		fd.ForEachTileMulti(rs.clipStrips(strips), opt.Blocking, rs.pool, rs.stressTile(opt, dt))
+		sp := rs.tel.Span(telemetry.Boundary)
 		for _, z := range rs.zones {
 			z.UpdateStress(rs.st, rs.med, dt)
 		}
+		sp.End()
 		inner2 := intersect(inner, rs.compBox)
 		rs.srcs.InjectRegion(rs.st, dt, tNow, inner2, false) // strip sources
 		tm.Comp += time.Since(t0).Seconds()
@@ -438,12 +472,7 @@ func (rs *rankState) advance(opt Options, dt, tNow float64, tm *Timing) {
 		fin := rs.hx.post(phaseStress, opt.Comm, rs.st.Stresses(), []int{3, 4, 5, 6, 7, 8})
 		tm.Comm += time.Since(t0).Seconds()
 		t0 = time.Now()
-		fd.ForEachTile(inner2, opt.Blocking, rs.pool, func(b fd.Box) {
-			fd.UpdateStress(rs.st, rs.med, dt, b, opt.Variant, opt.Blocking)
-			if rs.atten != nil {
-				rs.atten.Apply(rs.st, rs.med, dt, b)
-			}
-		})
+		fd.ForEachTile(inner2, opt.Blocking, rs.pool, rs.stressTile(opt, dt))
 		rs.srcs.InjectRegion(rs.st, dt, tNow, inner2, true) // interior sources
 		tm.Comp += time.Since(t0).Seconds()
 		t0 = time.Now()
@@ -451,26 +480,29 @@ func (rs *rankState) advance(opt Options, dt, tNow float64, tm *Timing) {
 		tm.Comm += time.Since(t0).Seconds()
 	} else {
 		if rs.fault == nil {
-			fd.ForEachTile(rs.compBox, opt.Blocking, rs.pool, func(b fd.Box) {
-				fd.UpdateStress(rs.st, rs.med, dt, b, opt.Variant, opt.Blocking)
-				if rs.atten != nil {
-					rs.atten.Apply(rs.st, rs.med, dt, b)
-				}
-			})
+			fd.ForEachTile(rs.compBox, opt.Blocking, rs.pool, rs.stressTile(opt, dt))
+			sp := rs.tel.Span(telemetry.Boundary)
 			for _, z := range rs.zones {
 				z.UpdateStress(rs.st, rs.med, dt)
 			}
+			sp.End()
 		} else {
 			// DFR mode: the split-node correction must see the purely
 			// elastic stress, so attenuation runs after it (the seed
 			// ordering) instead of fused into the stress tiles.
+			sp := rs.tel.Span(telemetry.Stress)
 			fd.UpdateStressTiled(rs.st, rs.med, dt, rs.compBox, opt.Variant, opt.Blocking, rs.pool)
+			sp.End()
+			sp = rs.tel.Span(telemetry.Boundary)
 			for _, z := range rs.zones {
 				z.UpdateStress(rs.st, rs.med, dt)
 			}
+			sp.End()
 			rs.fault.CorrectStress(rs.st, rs.med, dt)
 			if rs.atten != nil {
+				sp = rs.tel.Span(telemetry.Attenuation)
 				rs.atten.ApplyTiled(rs.st, rs.med, dt, rs.compBox, opt.Blocking, rs.pool)
+				sp.End()
 			}
 		}
 		rs.srcs.Inject(rs.st, dt, tNow)
@@ -480,18 +512,42 @@ func (rs *rankState) advance(opt Options, dt, tNow float64, tm *Timing) {
 		tm.Comm += time.Since(t0).Seconds()
 		if opt.Comm == Synchronous {
 			t0 = time.Now()
+			sp := rs.tel.Span(telemetry.Sync)
 			rs.comm.Barrier()
+			sp.End()
 			tm.Sync += time.Since(t0).Seconds()
 		}
 	}
 	t0 = time.Now()
 	if rs.sponge != nil {
+		sp := rs.tel.Span(telemetry.Boundary)
 		rs.sponge.ApplyPool(rs.st, rs.pool)
+		sp.End()
 	}
 	if rs.fs != nil {
+		sp := rs.tel.Span(telemetry.Boundary)
 		rs.fs.ApplyStress(rs.st)
+		sp.End()
 	}
 	tm.Comp += time.Since(t0).Seconds()
+}
+
+// stressTile returns the fused stress+attenuation tile body shared by the
+// bulk and overlap stress phases. Spans sit inside the tile so the fusion
+// (and hence the pool schedule and bit-identity) is untouched while
+// attenuation time is still attributed separately; Span.End is safe from
+// concurrent pool workers.
+func (rs *rankState) stressTile(opt Options, dt float64) func(fd.Box) {
+	return func(b fd.Box) {
+		sp := rs.tel.Span(telemetry.Stress)
+		fd.UpdateStress(rs.st, rs.med, dt, b, opt.Variant, opt.Blocking)
+		sp.End()
+		if rs.atten != nil {
+			sp = rs.tel.Span(telemetry.Attenuation)
+			rs.atten.Apply(rs.st, rs.med, dt, b)
+			sp.End()
+		}
+	}
 }
 
 // clipStrips intersects the overlap boundary strips with the non-PML

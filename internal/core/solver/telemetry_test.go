@@ -1,0 +1,153 @@
+package solver
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/cvm"
+	"repro/internal/grid"
+	"repro/internal/mpi"
+	"repro/internal/telemetry"
+)
+
+// Telemetry must be a pure observer: enabling it cannot change a single
+// bit of the physics, under any comm model, thread count, or halo layout.
+func TestTelemetryBitIdentity(t *testing.T) {
+	q := cvm.SoCal(2400, 2400, 1600, 400)
+	models := []CommModel{Synchronous, Asynchronous, AsyncReduced, AsyncOverlap}
+	for _, model := range models {
+		for _, threads := range []int{1, 4} {
+			for _, coalesce := range []bool{false, true} {
+				mk := func(tel *telemetry.Options) Options {
+					opt := baseOptions(mpi.NewCart(2, 2, 1))
+					opt.Steps = 40
+					opt.Comm = model
+					opt.Threads = threads
+					opt.CoalesceHalo = coalesce
+					opt.Telemetry = tel
+					return opt
+				}
+				ref, err := Run(q, mk(nil))
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := Run(q, mk(&telemetry.Options{TraceEvents: 256}))
+				if err != nil {
+					t.Fatal(err)
+				}
+				label := model.String()
+				for r := range ref.Seismograms {
+					for n := range ref.Seismograms[r] {
+						if ref.Seismograms[r][n] != got.Seismograms[r][n] {
+							t.Fatalf("%s/threads=%d/coalesce=%v: telemetry changed receiver %d sample %d",
+								label, threads, coalesce, r, n)
+						}
+					}
+				}
+				for i := range ref.PGVH {
+					if ref.PGVH[i] != got.PGVH[i] {
+						t.Fatalf("%s/threads=%d/coalesce=%v: telemetry changed PGV at %d",
+							label, threads, coalesce, i)
+					}
+				}
+				if ref.Telemetry != nil {
+					t.Fatal("report present with telemetry off")
+				}
+				rep := got.Telemetry
+				if rep == nil {
+					t.Fatal("report missing with telemetry on")
+				}
+				if rep.Ranks != 4 || rep.StepWindows != 40 {
+					t.Fatalf("%s: report ranks=%d windows=%d", label, rep.Ranks, rep.StepWindows)
+				}
+				if rep.Stat(telemetry.Velocity).Spans == 0 || rep.Stat(telemetry.Stress).Spans == 0 {
+					t.Fatalf("%s: compute phases unrecorded", label)
+				}
+				for _, p := range []telemetry.Phase{telemetry.Pack, telemetry.Send, telemetry.Recv, telemetry.Unpack} {
+					if rep.Stat(p).Spans == 0 {
+						t.Fatalf("%s: comm phase %v unrecorded", label, p)
+					}
+				}
+				if syncSpans := rep.Stat(telemetry.Sync).Spans; (model == Synchronous) != (syncSpans > 0) {
+					t.Fatalf("%s: sync spans = %d", label, syncSpans)
+				}
+				if len(rep.Neighbors) == 0 {
+					t.Fatalf("%s: neighbor counters missing", label)
+				}
+				if len(rep.Events) == 0 {
+					t.Fatalf("%s: event trace empty", label)
+				}
+			}
+		}
+	}
+}
+
+// The aggregated trace must export as loadable Chrome trace-event JSON.
+func TestTelemetryTraceExport(t *testing.T) {
+	opt := baseOptions(mpi.NewCart(2, 1, 1))
+	opt.Steps = 10
+	opt.Telemetry = &telemetry.Options{TraceEvents: 128}
+	res, err := Run(cvm.HardRock(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Telemetry.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"traceEvents"`)) {
+		t.Error("trace JSON missing traceEvents array")
+	}
+}
+
+// stepLoopSeconds runs the fixture and returns the measured step-loop time
+// (the Eq. 7 terms; setup and teardown excluded).
+func stepLoopSeconds(q cvm.Querier, opt Options) float64 {
+	res, err := Run(q, opt)
+	if err != nil {
+		panic(err)
+	}
+	tm := res.Timing
+	return tm.Comp + tm.Comm + tm.Sync + tm.Output
+}
+
+// Telemetry-on must stay within 5% of telemetry-off at the strong-scaling
+// subgrid (16^3 per rank), where per-step work is smallest and fixed
+// per-probe cost hurts most. Wall-clock sensitive: skipped in short mode
+// and under the race detector.
+func TestTelemetryOverheadBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive; skipped in short mode")
+	}
+	if telemetry.RaceEnabled {
+		t.Skip("timing-sensitive; skipped under the race detector")
+	}
+	q := cvm.Homogeneous(cvm.Material{Vp: 6000, Vs: 3464, Rho: 2700})
+	mk := func(tel *telemetry.Options) Options {
+		opt := baseOptions(mpi.NewCart(2, 1, 1))
+		opt.Global = grid.Dims{NX: 32, NY: 16, NZ: 16} // 16^3 per rank
+		opt.Steps = 60
+		opt.Telemetry = tel
+		return opt
+	}
+	// Warm up caches, pools and the scheduler once, then interleave the two
+	// configurations and keep each one's best time, so drift hits both.
+	stepLoopSeconds(q, mk(nil))
+	bestOff, bestOn := 1e18, 1e18
+	for i := 0; i < 7; i++ {
+		if s := stepLoopSeconds(q, mk(nil)); s < bestOff {
+			bestOff = s
+		}
+		if s := stepLoopSeconds(q, mk(&telemetry.Options{TraceEvents: 1 << 15})); s < bestOn {
+			bestOn = s
+		}
+	}
+	overhead := bestOn/bestOff - 1
+	t.Logf("step loop: off %.4fs, on %.4fs, overhead %.2f%%", bestOff, bestOn, 100*overhead)
+	// 0.5 ms of absolute slack absorbs scheduler jitter on loaded runners
+	// without masking a real per-probe regression at this problem size.
+	if bestOn > bestOff*1.05+500e-6 {
+		t.Errorf("telemetry overhead %.2f%% exceeds the 5%% budget (off %.4fs, on %.4fs)",
+			100*overhead, bestOff, bestOn)
+	}
+}

@@ -1,0 +1,100 @@
+package grid
+
+import "testing"
+
+// enumerate walks a block in copyBlock order (x rows, then y, then z) and
+// yields each cell coordinate. Pack and unpack traverse their respective
+// extents in this same order, which defines the wire correspondence.
+func enumerate(i0, i1, j0, j1, k0, k1 int, fn func(i, j, k int)) {
+	for k := k0; k < k1; k++ {
+		for j := j0; j < j1; j++ {
+			for i := i0; i < i1; i++ {
+				fn(i, j, k)
+			}
+		}
+	}
+}
+
+// FuzzPackUnpackFaceAt drives the sectioned pack/unpack pair used by the
+// coalesced halo path: pack `count` interior planes of a face into an
+// arbitrary offset of a shared buffer, unpack them into a second field's
+// ghost region, and verify both sides touched exactly the cells they own.
+func FuzzPackUnpackFaceAt(f *testing.F) {
+	f.Add(uint8(3), uint8(4), uint8(5), uint8(0), uint8(0), uint8(1), uint16(0))
+	f.Add(uint8(1), uint8(1), uint8(1), uint8(1), uint8(1), uint8(2), uint16(7))
+	f.Add(uint8(8), uint8(2), uint8(3), uint8(2), uint8(0), uint8(2), uint16(31))
+	f.Add(uint8(4), uint8(4), uint8(4), uint8(0), uint8(1), uint8(2), uint16(13))
+	f.Add(uint8(2), uint8(7), uint8(1), uint8(1), uint8(0), uint8(1), uint16(3))
+	f.Fuzz(func(t *testing.T, rnx, rny, rnz, rax, rsd, rcount uint8, roff uint16) {
+		d := Dims{NX: int(rnx%8) + 1, NY: int(rny%8) + 1, NZ: int(rnz%8) + 1}
+		ax := Axis(rax % 3)
+		sd := Side(rsd % 2)
+		count := int(rcount%Ghost) + 1
+		off := int(roff % 32)
+
+		src := NewField3(d)
+		for n := range src.data {
+			src.data[n] = float32(n) + 0.5
+		}
+		faceLen := src.FaceLen(ax, count)
+		const sentinel = float32(-1e30)
+		buf := make([]float32, off+faceLen+8)
+		for n := range buf {
+			buf[n] = sentinel
+		}
+
+		if n := src.PackFaceAt(ax, sd, count, buf, off); n != faceLen {
+			t.Fatalf("pack wrote %d values, want FaceLen %d", n, faceLen)
+		}
+		for n := 0; n < off; n++ {
+			if buf[n] != sentinel {
+				t.Fatalf("pack dirtied buf[%d] before section start %d", n, off)
+			}
+		}
+		for n := off + faceLen; n < len(buf); n++ {
+			if buf[n] != sentinel {
+				t.Fatalf("pack dirtied buf[%d] past section end %d", n, off+faceLen)
+			}
+		}
+		i0, i1, j0, j1, k0, k1 := src.planeExtents(ax, sd, count, false)
+		pos := off
+		enumerate(i0, i1, j0, j1, k0, k1, func(i, j, k int) {
+			if buf[pos] != src.At(i, j, k) {
+				t.Fatalf("buf[%d] = %g, want interior (%d,%d,%d) = %g",
+					pos, buf[pos], i, j, k, src.At(i, j, k))
+			}
+			pos++
+		})
+		if pos != off+faceLen {
+			t.Fatalf("pack extents cover %d cells, want %d", pos-off, faceLen)
+		}
+
+		dst := NewField3(d)
+		for n := range dst.data {
+			dst.data[n] = float32(n) - 0.25
+		}
+		before := append([]float32(nil), dst.data...)
+		if n := dst.UnpackFaceAt(ax, sd, count, buf, off); n != faceLen {
+			t.Fatalf("unpack consumed %d values, want FaceLen %d", n, faceLen)
+		}
+		g0, g1, h0, h1, l0, l1 := dst.planeExtents(ax, sd, count, true)
+		pos = off
+		touched := make(map[int]bool, faceLen)
+		enumerate(g0, g1, h0, h1, l0, l1, func(i, j, k int) {
+			if dst.At(i, j, k) != buf[pos] {
+				t.Fatalf("ghost (%d,%d,%d) = %g, want buf[%d] = %g",
+					i, j, k, dst.At(i, j, k), pos, buf[pos])
+			}
+			touched[dst.Idx(i, j, k)] = true
+			pos++
+		})
+		if len(touched) != faceLen {
+			t.Fatalf("ghost extents cover %d distinct cells, want %d", len(touched), faceLen)
+		}
+		for n := range dst.data {
+			if !touched[n] && dst.data[n] != before[n] {
+				t.Fatalf("unpack dirtied cell at flat index %d outside the ghost section", n)
+			}
+		}
+	})
+}

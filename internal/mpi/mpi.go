@@ -18,6 +18,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/telemetry"
 )
 
 // AnySource matches a message from any source rank in Recv/Irecv.
@@ -31,6 +33,7 @@ type message struct {
 	src, tag int
 	data     []float32
 	seq      uint64 // per-destination arrival sequence, for FIFO matching
+	sent     int64  // telemetry.Now() at submission; 0 when telemetry is off
 }
 
 // inbox holds undelivered messages and pending receivers for one rank.
@@ -158,7 +161,14 @@ func (w *World) abort() {
 type Comm struct {
 	world *World
 	rank  int
+	tel   *telemetry.Recorder
 }
+
+// SetTelemetry attaches a per-rank recorder: every subsequent message
+// this endpoint sends is stamped and counted per destination, and every
+// receive is counted per source with its send-to-match latency. nil
+// detaches (the default; the transport then skips all probes).
+func (c *Comm) SetTelemetry(rec *telemetry.Recorder) { c.tel = rec }
 
 // Rank returns this rank's id.
 func (c *Comm) Rank() int { return c.rank }
@@ -188,6 +198,11 @@ func (c *Comm) deliver(dst, tag int, data []float32) {
 	if dst < 0 || dst >= c.world.size {
 		panic(fmt.Sprintf("mpi: Send to invalid rank %d (size %d)", dst, c.world.size))
 	}
+	var sent int64
+	if c.tel != nil {
+		sent = telemetry.Now()
+		c.tel.CountSent(dst, len(data))
+	}
 	b := c.world.inboxes[dst]
 	b.mu.Lock()
 	if b.closed {
@@ -203,7 +218,7 @@ func (c *Comm) deliver(dst, tag int, data []float32) {
 		b.head = 0
 	}
 	b.seq++
-	b.queue = append(b.queue, message{src: c.rank, tag: tag, data: data, seq: b.seq})
+	b.queue = append(b.queue, message{src: c.rank, tag: tag, data: data, seq: b.seq, sent: sent})
 	b.cond.Broadcast()
 	b.mu.Unlock()
 	c.world.sentMsgs.Add(1)
@@ -222,6 +237,7 @@ type Status struct {
 // and tag may be AnyTag. It panics if the message is longer than buf.
 func (c *Comm) Recv(buf []float32, src, tag int) Status {
 	m := c.takeMatch(src, tag)
+	c.noteRecv(m)
 	if len(m.data) > len(buf) {
 		panic(fmt.Sprintf("mpi: Recv overflow: message %d > buffer %d", len(m.data), len(buf)))
 	}
@@ -234,7 +250,21 @@ func (c *Comm) Recv(buf []float32, src, tag int) Status {
 // the sender's lent buffer. Recycle it with PutBuffer when done.
 func (c *Comm) RecvTake(src, tag int) ([]float32, Status) {
 	m := c.takeMatch(src, tag)
+	c.noteRecv(m)
 	return m.data, Status{Source: m.src, Tag: m.tag, Count: len(m.data)}
+}
+
+// noteRecv records a matched message on the telemetry recorder. Called
+// after takeMatch returns, outside the inbox lock.
+func (c *Comm) noteRecv(m message) {
+	if c.tel == nil {
+		return
+	}
+	var lat int64
+	if m.sent > 0 {
+		lat = telemetry.Now() - m.sent
+	}
+	c.tel.CountRecv(m.src, len(m.data), lat)
 }
 
 // takeMatch removes and returns the earliest-arrived message matching
@@ -469,7 +499,9 @@ func (c *Comm) Gather(data []float32, root int) [][]float32 {
 }
 
 func (c *Comm) takeMatchFrom(src, tag int) message {
-	return c.takeMatch(src, tag)
+	m := c.takeMatch(src, tag)
+	c.noteRecv(m)
+	return m
 }
 
 // packF64 encodes float64 values into pairs of float32 (hi/lo split) so the

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/grid"
 	"repro/internal/pfs"
+	"repro/internal/telemetry"
 )
 
 // Segment is one contiguous byte range of a file view.
@@ -49,7 +50,10 @@ func TotalLen(segs []Segment) int {
 }
 
 // WriteIndexed writes data through the view with explicit displacements.
-func WriteIndexed(fsys *pfs.FS, path string, segs []Segment, data []byte) error {
+// An optional telemetry recorder (at most one) attributes the wall time to
+// the IO phase; existing call sites need no change.
+func WriteIndexed(fsys *pfs.FS, path string, segs []Segment, data []byte, rec ...*telemetry.Recorder) error {
+	defer ioSpan(rec).End()
 	if len(data) != TotalLen(segs) {
 		return fmt.Errorf("mpiio: data %d bytes, view %d", len(data), TotalLen(segs))
 	}
@@ -61,8 +65,10 @@ func WriteIndexed(fsys *pfs.FS, path string, segs []Segment, data []byte) error 
 	return nil
 }
 
-// ReadIndexed reads the view into a new buffer.
-func ReadIndexed(fsys *pfs.FS, path string, segs []Segment) ([]byte, error) {
+// ReadIndexed reads the view into a new buffer. An optional telemetry
+// recorder (at most one) attributes the wall time to the IO phase.
+func ReadIndexed(fsys *pfs.FS, path string, segs []Segment, rec ...*telemetry.Recorder) ([]byte, error) {
+	defer ioSpan(rec).End()
 	out := make([]byte, TotalLen(segs))
 	p := 0
 	for _, s := range segs {
@@ -72,6 +78,15 @@ func ReadIndexed(fsys *pfs.FS, path string, segs []Segment) ([]byte, error) {
 		p += s.Len
 	}
 	return out, nil
+}
+
+// ioSpan opens an IO span on the first recorder, if any; a nil recorder
+// (or none) yields the no-op span.
+func ioSpan(rec []*telemetry.Recorder) telemetry.Span {
+	if len(rec) == 0 {
+		return telemetry.Span{}
+	}
+	return rec[0].Span(telemetry.IO)
 }
 
 // PhaseOps converts per-rank views into the op list of one collective

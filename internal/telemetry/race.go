@@ -1,0 +1,9 @@
+//go:build race
+
+package telemetry
+
+// RaceEnabled reports whether the binary was built with the race detector.
+// Timing-sensitive guards (the telemetry overhead budget) skip themselves
+// under its instrumentation, which inflates every atomic and lock by an
+// order of magnitude.
+const RaceEnabled = true
