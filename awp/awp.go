@@ -18,15 +18,19 @@
 package awp
 
 import (
+	"fmt"
+
 	"repro/internal/analysis"
 	"repro/internal/core/fd"
 	"repro/internal/core/rupture"
 	"repro/internal/core/solver"
 	"repro/internal/core/source"
 	"repro/internal/cvm"
+	"repro/internal/decomp"
 	"repro/internal/grid"
 	"repro/internal/mpi"
 	"repro/internal/telemetry"
+	"repro/internal/tuner"
 )
 
 // Dims is the global grid extent in cells.
@@ -110,6 +114,21 @@ type Scenario struct {
 	FreeSurface bool
 	Attenuation bool
 
+	// Variant selects the stencil kernel: "" (the Blocked default), one of
+	// the ladder names "naive", "recip", "precomp", "blocked", "unrolled",
+	// "fused", or "auto" to run the per-machine kernel autotuner on the
+	// rank-0 subgrid shape (winner cached in a JSON profile, so only the
+	// first run on a machine pays the micro-benchmark).
+	Variant string
+
+	// JBlock/KBlock override the cache-blocking tile (0: DefaultBlocking,
+	// or the autotuned blocking when Variant is "auto").
+	JBlock, KBlock int
+
+	// TunerCachePath overrides the autotuner profile location ("" uses the
+	// per-user default under os.UserCacheDir).
+	TunerCachePath string
+
 	Sources   []source.SampledSource
 	Fault     *FaultSpec
 	Receivers [][3]int
@@ -125,17 +144,31 @@ func Run(q Model, sc Scenario) (*Result, error) {
 	if sc.SpongeWidth <= 0 {
 		sc.SpongeWidth = 8
 	}
+	topo := mpi.NewCart(1, 1, 1)
+	if sc.Ranks > 1 {
+		if sc.Fault != nil {
+			// DFR mode keeps the fault plane on one rank in y.
+			topo = faultTopo(sc.Dims, sc.Ranks)
+		} else {
+			topo = bestTopo(sc.Dims, sc.Ranks)
+		}
+	}
+	variant, blocking, err := resolveKernel(sc, topo)
+	if err != nil {
+		return nil, err
+	}
 	opt := solver.Options{
 		Global:       sc.Dims,
 		H:            sc.H,
 		Dt:           sc.Dt,
 		Steps:        sc.Steps,
+		Topo:         topo,
 		Comm:         sc.Comm,
 		Threads:      sc.Threads,
 		CopyHalo:     sc.CopyHalo,
 		CoalesceHalo: sc.CoalesceHalo,
-		Variant:      fd.Blocked,
-		Blocking:     fd.DefaultBlocking,
+		Variant:      variant,
+		Blocking:     blocking,
 		ABC:          sc.ABC,
 		SpongeWidth:  sc.SpongeWidth,
 		FreeSurface:  sc.FreeSurface,
@@ -146,15 +179,51 @@ func Run(q Model, sc Scenario) (*Result, error) {
 		TrackPGV:     sc.TrackPGV,
 		Telemetry:    sc.Telemetry,
 	}
-	if sc.Ranks > 1 {
-		if sc.Fault != nil {
-			// DFR mode keeps the fault plane on one rank in y.
-			opt.Topo = faultTopo(sc.Dims, sc.Ranks)
-		} else {
-			opt.Topo = bestTopo(sc.Dims, sc.Ranks)
-		}
-	}
 	return solver.Run(q, opt)
+}
+
+// resolveKernel maps Scenario.Variant/JBlock/KBlock onto the solver's
+// kernel configuration. "auto" runs the tuner micro-benchmark on the rank-0
+// subgrid shape — representative of every rank, since the decomposition
+// splits near-evenly — and any explicit JBlock/KBlock still wins over the
+// tuned blocking.
+func resolveKernel(sc Scenario, topo mpi.Cart) (fd.Variant, fd.Blocking, error) {
+	variant, blocking := fd.Blocked, fd.DefaultBlocking
+	switch sc.Variant {
+	case "":
+	case "auto":
+		dc, err := decomp.New(sc.Dims, topo)
+		if err != nil {
+			return 0, fd.Blocking{}, fmt.Errorf("awp: %w", err)
+		}
+		threads := sc.Threads
+		if threads <= 0 {
+			threads = 1
+		}
+		choice, _, err := tuner.AutotuneKernels(tuner.AutotuneOptions{
+			Dims:        dc.SubFor(0).Local,
+			Threads:     threads,
+			Attenuation: sc.Attenuation,
+			CachePath:   sc.TunerCachePath,
+		})
+		if err != nil {
+			return 0, fd.Blocking{}, fmt.Errorf("awp: kernel autotune: %w", err)
+		}
+		variant, blocking = choice.Variant, choice.Blocking
+	default:
+		v, err := fd.ParseVariant(sc.Variant)
+		if err != nil {
+			return 0, fd.Blocking{}, fmt.Errorf("awp: %w", err)
+		}
+		variant = v
+	}
+	if sc.JBlock > 0 {
+		blocking.JBlock = sc.JBlock
+	}
+	if sc.KBlock > 0 {
+		blocking.KBlock = sc.KBlock
+	}
+	return variant, blocking, nil
 }
 
 // SoCalModel returns the synthetic southern-California velocity model

@@ -24,6 +24,10 @@ func main() {
 	comm := flag.String("comm", "async-reduced", "comm model: sync|async|async-reduced|overlap")
 	abc := flag.String("abc", "sponge", "absorbing boundary: none|sponge|mpml")
 	model := flag.String("model", "socal", "velocity model: socal|layered|rock")
+	variant := flag.String("variant", "", "stencil kernel: naive|recip|precomp|blocked|unrolled|fused, auto (per-machine autotuner), or empty for the blocked default")
+	jblock := flag.Int("jblock", 0, "cache-blocking tile extent in j (0: default or autotuned)")
+	kblock := flag.Int("kblock", 0, "cache-blocking tile extent in k (0: default or autotuned)")
+	tunerCache := flag.String("tuner-cache", "", "kernel autotuner profile path (default: per-user cache dir)")
 	mw := flag.Float64("m0", 1e16, "seismic moment, N*m")
 	srcI := flag.Int("si", -1, "source i (default center)")
 	srcJ := flag.Int("sj", -1, "source j (default center)")
@@ -73,7 +77,9 @@ func main() {
 	sc := awp.Scenario{
 		Dims: dims, H: *h, Steps: *steps, Ranks: *ranks,
 		Threads: *threads, CopyHalo: *copyHalo, CoalesceHalo: *coalesce,
-		FreeSurface: true, Attenuation: true,
+		Variant: *variant, JBlock: *jblock, KBlock: *kblock,
+		TunerCachePath: *tunerCache,
+		FreeSurface:    true, Attenuation: true,
 		Sources:   awp.PointMomentSource(*srcI, *srcJ, *srcK, *mw, 0.3, 0.08),
 		Receivers: [][3]int{{*srcI, *srcJ, 0}, {*nx - 10, *srcJ, 0}},
 		TrackPGV:  true,
@@ -107,8 +113,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("awp-run: %v grid, h=%.0f m, dt=%.4f s, %d steps, %d ranks x %d threads, comm=%s abc=%s\n",
-		dims, *h, res.Dt, res.Steps, *ranks, *threads, *comm, *abc)
+	vname := *variant
+	if vname == "" {
+		vname = "blocked"
+	}
+	fmt.Printf("awp-run: %v grid, h=%.0f m, dt=%.4f s, %d steps, %d ranks x %d threads, comm=%s abc=%s variant=%s\n",
+		dims, *h, res.Dt, res.Steps, *ranks, *threads, *comm, *abc, vname)
 	fmt.Printf("epicentral PGVH: %.4e m/s; distant-receiver PGVH: %.4e m/s\n",
 		awp.PGVH(res.Seismograms[0]), awp.PGVH(res.Seismograms[1]))
 	var pgvMax float64

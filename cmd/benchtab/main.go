@@ -27,9 +27,9 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table1, table2, table3, fig3, fig11, fig12, fig13, fig14, fig19, fig21, fig22, fig23, sustained, engine, halo, phases, all)")
-	out := flag.String("out", "", "output path for a benchmark experiment's JSON report (default: BENCH_1.json for engine, BENCH_2.json for halo, BENCH_3.json for phases)")
-	short := flag.Bool("short", false, "reduced sweep for CI smoke runs (halo, phases)")
+	exp := flag.String("exp", "all", "experiment id (table1, table2, table3, fig3, fig11, fig12, fig13, fig14, fig19, fig21, fig22, fig23, sustained, engine, halo, phases, kernels, all)")
+	out := flag.String("out", "", "output path for a benchmark experiment's JSON report (default: BENCH_1.json for engine, BENCH_2.json for halo, BENCH_3.json for phases, BENCH_4.json for kernels)")
+	short := flag.Bool("short", false, "reduced sweep for CI smoke runs (halo, phases, kernels)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -86,6 +86,7 @@ func main() {
 		"engine":    func() { engine(outFor("BENCH_1.json")) },
 		"halo":      func() { halo(outFor("BENCH_2.json"), *short) },
 		"phases":    func() { phases(outFor("BENCH_3.json"), *short) },
+		"kernels":   func() { kernels(outFor("BENCH_4.json"), *short) },
 	}
 	if *exp == "all" {
 		for _, name := range []string{"table1", "table2", "table3", "sustained",

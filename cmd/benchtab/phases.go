@@ -241,8 +241,8 @@ func phases(outPath string, short bool) {
 		r := phasesRun(topo, sub, m.model, 1, mainSteps, false)
 		msgs, bytes := msgTraffic(r, topo.Size(), mainSteps)
 		run := phaseModelRun{
-			Model: m.name,
-			Topo:  fmt.Sprintf("%dx%dx%d", topo.PX, topo.PY, topo.PZ),
+			Model:   m.name,
+			Topo:    fmt.Sprintf("%dx%dx%d", topo.PX, topo.PY, topo.PZ),
 			Subgrid: sub.String(), Ranks: topo.Size(), Steps: mainSteps,
 			MsgsPerRankStep: msgs, BytesPerRankStep: bytes,
 			Breakdown: r.Phases,

@@ -2,6 +2,7 @@ package boundary
 
 import (
 	"math"
+	"sync"
 	"testing"
 
 	"repro/internal/core/fd"
@@ -460,4 +461,70 @@ func fill2(d grid.Dims) *fd.State {
 		}
 	}
 	return s
+}
+
+// ApplySurfaceFused must damp exactly like ApplyPool and call the surface
+// hook once per interior row every step — including on subgrids the
+// uniform fast path would otherwise skip entirely.
+func TestSpongeApplySurfaceFusedBitIdentical(t *testing.T) {
+	d := grid.Dims{NX: 18, NY: 13, NZ: 11}
+	fill := func() *fd.State {
+		s := fd.NewState(d)
+		for fi, f := range s.Fields() {
+			data := f.Data()
+			for n := range data {
+				data[n] = float32(fi+1) * float32(n%89-44)
+			}
+		}
+		return s
+	}
+	sp := NewSpongeGlobal(d, grid.Dims{NX: 36, NY: 13, NZ: 11}, [3]int{18, 0, 0},
+		6, 0.1, AllAbsorbing())
+	ref := fill()
+	sp.Apply(ref)
+	for _, threads := range []int{1, 3, 8} {
+		p := sched.NewPool(threads)
+		s := fill()
+		var mu sync.Mutex
+		seen := make(map[int]int)
+		sp.ApplySurfaceFused(s, p, func(j int) {
+			mu.Lock()
+			seen[j]++
+			mu.Unlock()
+		})
+		p.Close()
+		for fi, f := range s.Fields() {
+			a, b := f.Data(), ref.Fields()[fi].Data()
+			for n := range a {
+				if a[n] != b[n] {
+					t.Fatalf("threads=%d field %d idx %d: %g != %g", threads, fi, n, a[n], b[n])
+				}
+			}
+		}
+		if len(seen) != d.NY {
+			t.Fatalf("threads=%d: surface hook saw %d rows, want %d", threads, len(seen), d.NY)
+		}
+		for j, n := range seen {
+			if j < 0 || j >= d.NY || n != 1 {
+				t.Fatalf("threads=%d: row %d visited %d times", threads, j, n)
+			}
+		}
+	}
+
+	// Uniform fast path: no damping, but the surface hook still runs for
+	// every row (the PGV fold must happen every step).
+	far := NewSpongeGlobal(grid.Dims{NX: 4, NY: 4, NZ: 4}, grid.Dims{NX: 100, NY: 100, NZ: 100},
+		[3]int{48, 48, 48}, 5, 0.1, AllAbsorbing())
+	s := fill2(grid.Dims{NX: 4, NY: 4, NZ: 4})
+	before := append([]float32(nil), s.VX.Data()...)
+	rows := 0
+	far.ApplySurfaceFused(s, nil, func(j int) { rows++ })
+	if rows != 4 {
+		t.Fatalf("uniform path ran surface hook for %d rows, want 4", rows)
+	}
+	for n := range before {
+		if s.VX.Data()[n] != before[n] {
+			t.Fatal("uniform-path subgrid modified")
+		}
+	}
 }

@@ -141,23 +141,78 @@ func (sp *Sponge) factors() (fx, fy, fz []float32, uniform bool) {
 	return fx, fy, fz, uniform
 }
 
+// ApplySurfaceFused is ApplyPool with the surface-velocity work fused in:
+// for each interior surface row j, one work item damps row (j, k=0) of the
+// three velocity components and then calls surface(j) — the solver's PGV
+// fold — so the row is damped, folded, and still warm in cache, instead of
+// being re-streamed by a separate pass after the sponge. surface must not
+// be nil. The velocity k=0 plane items damp only their ghost-j rows; every
+// other (field, plane) item is unchanged. Work items touch disjoint rows,
+// so the fusion is race-free and the damped values are bit-identical to
+// ApplyPool. When the subgrid is nowhere near an absorbing zone the damping
+// is skipped but the surface rows still run (the fold must happen every
+// step).
+func (sp *Sponge) ApplySurfaceFused(s *fd.State, p *sched.Pool, surface func(j int)) {
+	g := grid.Ghost
+	l := sp.Local
+	fx, fy, fz, uniform := sp.factors()
+	if uniform {
+		p.ForEachN(l.NY, surface)
+		return
+	}
+	fields := s.Fields()
+	vels := s.Velocities()
+	nz := l.NZ + 2*g
+	nplane := len(fields) * nz
+	p.ForEachN(nplane+l.NY, func(idx int) {
+		if idx < nplane {
+			fi, k := idx/nz, idx%nz-g
+			if k == 0 && fi < len(vels) {
+				// Interior rows of the velocity surface planes belong to
+				// the fused items below; keep only the ghost-j rows here.
+				for j := -g; j < 0; j++ {
+					sp.applyRow(fields[fi], j, 0, fx, fy[j+g]*fz[g])
+				}
+				for j := l.NY; j < l.NY+g; j++ {
+					sp.applyRow(fields[fi], j, 0, fx, fy[j+g]*fz[g])
+				}
+				return
+			}
+			sp.applyPlane(fields[fi], k, fx, fy, fz)
+			return
+		}
+		j := idx - nplane
+		fyz := fy[j+g] * fz[g]
+		for _, f := range vels {
+			sp.applyRow(f, j, 0, fx, fyz)
+		}
+		surface(j)
+	})
+}
+
 // applyPlane damps one padded k-plane of one field through row slices.
 func (sp *Sponge) applyPlane(f *grid.Field3, k int, fx, fy, fz []float32) {
 	g := grid.Ghost
 	l := sp.Local
 	zk := fz[k+g]
 	for j := -g; j < l.NY+g; j++ {
-		fyz := fy[j+g] * zk
-		if fyz == 1 && !sp.Faces.XLo && !sp.Faces.XHi {
-			continue
-		}
-		base := f.Idx(-g, j, k)
-		row := f.Data()[base : base+l.NX+2*g]
-		for i := range row {
-			t := fx[i] * fyz
-			if t != 1 {
-				row[i] *= t
-			}
+		sp.applyRow(f, j, k, fx, fy[j+g]*zk)
+	}
+}
+
+// applyRow damps one padded x-row of one field; fyz is the combined y/z
+// taper for the row.
+func (sp *Sponge) applyRow(f *grid.Field3, j, k int, fx []float32, fyz float32) {
+	if fyz == 1 && !sp.Faces.XLo && !sp.Faces.XHi {
+		return
+	}
+	g := grid.Ghost
+	base := f.Idx(-g, j, k)
+	row := f.Data()[base : base+sp.Local.NX+2*g]
+	for i := range row {
+		t := fx[i] * fyz
+		if t != 1 {
+			row[i] *= t
 		}
 	}
 }

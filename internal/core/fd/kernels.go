@@ -25,6 +25,13 @@ const (
 	Blocked
 	// Unrolled is Precomp with the inner x loop manually unrolled by 2 (+2%).
 	Unrolled
+	// Fused is Precomp restructured for bounds-check elimination (explicit
+	// per-row subslice windows instead of whole-array indexing) and, when
+	// the solver runs with attenuation, fused with the coarse-grained
+	// memory-variable update in the same i-loop — one read/modify/write of
+	// the six stress components per step instead of two. Results are
+	// bit-identical to Precomp (+ the two-pass attenuation path).
+	Fused
 )
 
 func (v Variant) String() string {
@@ -39,8 +46,30 @@ func (v Variant) String() string {
 		return "blocked"
 	case Unrolled:
 		return "unrolled"
+	case Fused:
+		return "fused"
 	}
 	return fmt.Sprintf("Variant(%d)", int(v))
+}
+
+// Validate reports whether v names a known kernel variant; the solver
+// rejects unknown values at configuration time instead of panicking deep
+// inside the first UpdateVelocity call.
+func (v Variant) Validate() error {
+	if v < Naive || v > Fused {
+		return fmt.Errorf("fd: unknown kernel variant %d (want %v..%v)", int(v), Naive, Fused)
+	}
+	return nil
+}
+
+// ParseVariant resolves a variant name as used by awp-run -variant.
+func ParseVariant(name string) (Variant, error) {
+	for v := Naive; v <= Fused; v++ {
+		if v.String() == name {
+			return v, nil
+		}
+	}
+	return Naive, fmt.Errorf("fd: unknown kernel variant %q (want naive|recip|precomp|blocked|unrolled|fused)", name)
 }
 
 // Blocking carries the cache-blocking factors; the paper's empirically
@@ -67,6 +96,8 @@ func UpdateVelocity(s *State, m *medium.Medium, dt float64, box Box, v Variant, 
 		forEachBlock(box, blk, func(b Box) { velocityPrecomp(s, m, dt, b) })
 	case Unrolled:
 		velocityUnrolled(s, m, dt, box)
+	case Fused:
+		velocityFused(s, m, dt, box)
 	default:
 		panic("fd: unknown variant")
 	}
@@ -87,6 +118,8 @@ func UpdateStress(s *State, m *medium.Medium, dt float64, box Box, v Variant, bl
 		forEachBlock(box, blk, func(b Box) { stressPrecomp(s, m, dt, b) })
 	case Unrolled:
 		stressUnrolled(s, m, dt, box)
+	case Fused:
+		stressFused(s, m, dt, box)
 	default:
 		panic("fd: unknown variant")
 	}
@@ -233,13 +266,6 @@ func stressDivide(s *State, m *medium.Medium, dt float64, b Box, naive bool) {
 	lam, mu, mui := m.Lam.Data(), m.Mu.Data(), m.MuI.Data()
 	dx, dy, dz := s.VX.Strides()
 
-	hmean := func(n, da, db int) float32 {
-		if naive {
-			return 4 / (1/mu[n] + 1/mu[n+da] + 1/mu[n+db] + 1/mu[n+da+db])
-		}
-		return 4 / (mui[n] + mui[n+da] + mui[n+db] + mui[n+da+db])
-	}
-
 	for k := b.K0; k < b.K1; k++ {
 		for j := b.J0; j < b.J1; j++ {
 			n0 := s.VX.Idx(b.I0, j, k)
@@ -251,19 +277,44 @@ func stressDivide(s *State, m *medium.Medium, dt float64, b Box, naive bool) {
 				xx[n] += dth * (l2m*exx + lam[n]*(eyy+ezz))
 				yy[n] += dth * (l2m*eyy + lam[n]*(exx+ezz))
 				zz[n] += dth * (l2m*ezz + lam[n]*(exx+eyy))
-				xy[n] += dth * hmean(n, dx, dy) * (c1*(u[n+dy]-u[n]) + c2*(u[n+2*dy]-u[n-dy]) +
+				var hxy, hxz, hyz float32
+				if naive {
+					hxy = hmeanNaive(mu, n, dx, dy)
+					hxz = hmeanNaive(mu, n, dx, dz)
+					hyz = hmeanNaive(mu, n, dy, dz)
+				} else {
+					hxy = hmeanRecip(mui, n, dx, dy)
+					hxz = hmeanRecip(mui, n, dx, dz)
+					hyz = hmeanRecip(mui, n, dy, dz)
+				}
+				xy[n] += dth * hxy * (c1*(u[n+dy]-u[n]) + c2*(u[n+2*dy]-u[n-dy]) +
 					c1*(v[n+dx]-v[n]) + c2*(v[n+2*dx]-v[n-dx]))
-				xz[n] += dth * hmean(n, dx, dz) * (c1*(u[n+dz]-u[n]) + c2*(u[n+2*dz]-u[n-dz]) +
+				xz[n] += dth * hxz * (c1*(u[n+dz]-u[n]) + c2*(u[n+2*dz]-u[n-dz]) +
 					c1*(w[n+dx]-w[n]) + c2*(w[n+2*dx]-w[n-dx]))
-				yz[n] += dth * hmean(n, dy, dz) * (c1*(v[n+dz]-v[n]) + c2*(v[n+2*dz]-v[n-dz]) +
+				yz[n] += dth * hyz * (c1*(v[n+dz]-v[n]) + c2*(v[n+2*dz]-v[n-dz]) +
 					c1*(w[n+dy]-w[n]) + c2*(w[n+2*dy]-w[n-dy]))
 			}
 		}
 	}
 }
 
+// hmeanNaive forms the 4-point harmonic mean of mu with one division per
+// operand, as the original code did. Top-level (not a closure) so the call
+// in the inner loop inlines.
+func hmeanNaive(mu []float32, n, da, db int) float32 {
+	return 4 / (1/mu[n] + 1/mu[n+da] + 1/mu[n+db] + 1/mu[n+da+db])
+}
+
+// hmeanRecip forms the harmonic mean from stored reciprocals — a sum and
+// one division (§IV.B "reduced division operations").
+func hmeanRecip(mui []float32, n, da, db int) float32 {
+	return 4 / (mui[n] + mui[n+da] + mui[n+db] + mui[n+da+db])
+}
+
 // velocityUnrolled is velocityPrecomp with the inner loop unrolled by 2
-// (the paper found x2 optimal for the velocity-class subroutines).
+// (the paper found x2 optimal for the velocity-class subroutines). The
+// unroll bodies are written out inline — a closure call per point would
+// defeat inlining and dominate the loop.
 func velocityUnrolled(s *State, m *medium.Medium, dt float64, b Box) {
 	dth := float32(dt / m.H)
 	c1, c2 := float32(C1), float32(C2)
@@ -273,34 +324,50 @@ func velocityUnrolled(s *State, m *medium.Medium, dt float64, b Box) {
 	bx, by, bz := m.BX.Data(), m.BY.Data(), m.BZ.Data()
 	dx, dy, dz := s.VX.Strides()
 
-	body := func(n int) {
-		u[n] += dth * bx[n] * (c1*(xx[n+dx]-xx[n]) + c2*(xx[n+2*dx]-xx[n-dx]) +
-			c1*(xy[n]-xy[n-dy]) + c2*(xy[n+dy]-xy[n-2*dy]) +
-			c1*(xz[n]-xz[n-dz]) + c2*(xz[n+dz]-xz[n-2*dz]))
-		v[n] += dth * by[n] * (c1*(xy[n]-xy[n-dx]) + c2*(xy[n+dx]-xy[n-2*dx]) +
-			c1*(yy[n+dy]-yy[n]) + c2*(yy[n+2*dy]-yy[n-dy]) +
-			c1*(yz[n]-yz[n-dz]) + c2*(yz[n+dz]-yz[n-2*dz]))
-		w[n] += dth * bz[n] * (c1*(xz[n]-xz[n-dx]) + c2*(xz[n+dx]-xz[n-2*dx]) +
-			c1*(yz[n]-yz[n-dy]) + c2*(yz[n+dy]-yz[n-2*dy]) +
-			c1*(zz[n+dz]-zz[n]) + c2*(zz[n+2*dz]-zz[n-dz]))
-	}
 	for k := b.K0; k < b.K1; k++ {
 		for j := b.J0; j < b.J1; j++ {
 			n0 := s.VX.Idx(b.I0, j, k)
 			end := n0 + (b.I1 - b.I0)
 			n := n0
 			for ; n+1 < end; n += 2 {
-				body(n)
-				body(n + 1)
+				u[n] += dth * bx[n] * (c1*(xx[n+dx]-xx[n]) + c2*(xx[n+2*dx]-xx[n-dx]) +
+					c1*(xy[n]-xy[n-dy]) + c2*(xy[n+dy]-xy[n-2*dy]) +
+					c1*(xz[n]-xz[n-dz]) + c2*(xz[n+dz]-xz[n-2*dz]))
+				v[n] += dth * by[n] * (c1*(xy[n]-xy[n-dx]) + c2*(xy[n+dx]-xy[n-2*dx]) +
+					c1*(yy[n+dy]-yy[n]) + c2*(yy[n+2*dy]-yy[n-dy]) +
+					c1*(yz[n]-yz[n-dz]) + c2*(yz[n+dz]-yz[n-2*dz]))
+				w[n] += dth * bz[n] * (c1*(xz[n]-xz[n-dx]) + c2*(xz[n+dx]-xz[n-2*dx]) +
+					c1*(yz[n]-yz[n-dy]) + c2*(yz[n+dy]-yz[n-2*dy]) +
+					c1*(zz[n+dz]-zz[n]) + c2*(zz[n+2*dz]-zz[n-dz]))
+				m := n + 1
+				u[m] += dth * bx[m] * (c1*(xx[m+dx]-xx[m]) + c2*(xx[m+2*dx]-xx[m-dx]) +
+					c1*(xy[m]-xy[m-dy]) + c2*(xy[m+dy]-xy[m-2*dy]) +
+					c1*(xz[m]-xz[m-dz]) + c2*(xz[m+dz]-xz[m-2*dz]))
+				v[m] += dth * by[m] * (c1*(xy[m]-xy[m-dx]) + c2*(xy[m+dx]-xy[m-2*dx]) +
+					c1*(yy[m+dy]-yy[m]) + c2*(yy[m+2*dy]-yy[m-dy]) +
+					c1*(yz[m]-yz[m-dz]) + c2*(yz[m+dz]-yz[m-2*dz]))
+				w[m] += dth * bz[m] * (c1*(xz[m]-xz[m-dx]) + c2*(xz[m+dx]-xz[m-2*dx]) +
+					c1*(yz[m]-yz[m-dy]) + c2*(yz[m+dy]-yz[m-2*dy]) +
+					c1*(zz[m+dz]-zz[m]) + c2*(zz[m+2*dz]-zz[m-dz]))
 			}
 			for ; n < end; n++ {
-				body(n)
+				u[n] += dth * bx[n] * (c1*(xx[n+dx]-xx[n]) + c2*(xx[n+2*dx]-xx[n-dx]) +
+					c1*(xy[n]-xy[n-dy]) + c2*(xy[n+dy]-xy[n-2*dy]) +
+					c1*(xz[n]-xz[n-dz]) + c2*(xz[n+dz]-xz[n-2*dz]))
+				v[n] += dth * by[n] * (c1*(xy[n]-xy[n-dx]) + c2*(xy[n+dx]-xy[n-2*dx]) +
+					c1*(yy[n+dy]-yy[n]) + c2*(yy[n+2*dy]-yy[n-dy]) +
+					c1*(yz[n]-yz[n-dz]) + c2*(yz[n+dz]-yz[n-2*dz]))
+				w[n] += dth * bz[n] * (c1*(xz[n]-xz[n-dx]) + c2*(xz[n+dx]-xz[n-2*dx]) +
+					c1*(yz[n]-yz[n-dy]) + c2*(yz[n+dy]-yz[n-2*dy]) +
+					c1*(zz[n+dz]-zz[n]) + c2*(zz[n+2*dz]-zz[n-dz]))
 			}
 		}
 	}
 }
 
-// stressUnrolled is stressPrecomp with the inner loop unrolled by 2.
+// stressUnrolled is stressPrecomp with the inner loop unrolled by 2. As in
+// velocityUnrolled the bodies are written out inline rather than through a
+// per-point closure.
 func stressUnrolled(s *State, m *medium.Medium, dt float64, b Box) {
 	dth := float32(dt / m.H)
 	c1, c2 := float32(C1), float32(C2)
@@ -311,31 +378,51 @@ func stressUnrolled(s *State, m *medium.Medium, dt float64, b Box) {
 	mxy, mxz, myz := m.MuXY.Data(), m.MuXZ.Data(), m.MuYZ.Data()
 	dx, dy, dz := s.VX.Strides()
 
-	body := func(n int) {
-		exx := c1*(u[n]-u[n-dx]) + c2*(u[n+dx]-u[n-2*dx])
-		eyy := c1*(v[n]-v[n-dy]) + c2*(v[n+dy]-v[n-2*dy])
-		ezz := c1*(w[n]-w[n-dz]) + c2*(w[n+dz]-w[n-2*dz])
-		xx[n] += dth * (l2m[n]*exx + lam[n]*(eyy+ezz))
-		yy[n] += dth * (l2m[n]*eyy + lam[n]*(exx+ezz))
-		zz[n] += dth * (l2m[n]*ezz + lam[n]*(exx+eyy))
-		xy[n] += dth * mxy[n] * (c1*(u[n+dy]-u[n]) + c2*(u[n+2*dy]-u[n-dy]) +
-			c1*(v[n+dx]-v[n]) + c2*(v[n+2*dx]-v[n-dx]))
-		xz[n] += dth * mxz[n] * (c1*(u[n+dz]-u[n]) + c2*(u[n+2*dz]-u[n-dz]) +
-			c1*(w[n+dx]-w[n]) + c2*(w[n+2*dx]-w[n-dx]))
-		yz[n] += dth * myz[n] * (c1*(v[n+dz]-v[n]) + c2*(v[n+2*dz]-v[n-dz]) +
-			c1*(w[n+dy]-w[n]) + c2*(w[n+2*dy]-w[n-dy]))
-	}
 	for k := b.K0; k < b.K1; k++ {
 		for j := b.J0; j < b.J1; j++ {
 			n0 := s.VX.Idx(b.I0, j, k)
 			end := n0 + (b.I1 - b.I0)
 			n := n0
 			for ; n+1 < end; n += 2 {
-				body(n)
-				body(n + 1)
+				exx := c1*(u[n]-u[n-dx]) + c2*(u[n+dx]-u[n-2*dx])
+				eyy := c1*(v[n]-v[n-dy]) + c2*(v[n+dy]-v[n-2*dy])
+				ezz := c1*(w[n]-w[n-dz]) + c2*(w[n+dz]-w[n-2*dz])
+				xx[n] += dth * (l2m[n]*exx + lam[n]*(eyy+ezz))
+				yy[n] += dth * (l2m[n]*eyy + lam[n]*(exx+ezz))
+				zz[n] += dth * (l2m[n]*ezz + lam[n]*(exx+eyy))
+				xy[n] += dth * mxy[n] * (c1*(u[n+dy]-u[n]) + c2*(u[n+2*dy]-u[n-dy]) +
+					c1*(v[n+dx]-v[n]) + c2*(v[n+2*dx]-v[n-dx]))
+				xz[n] += dth * mxz[n] * (c1*(u[n+dz]-u[n]) + c2*(u[n+2*dz]-u[n-dz]) +
+					c1*(w[n+dx]-w[n]) + c2*(w[n+2*dx]-w[n-dx]))
+				yz[n] += dth * myz[n] * (c1*(v[n+dz]-v[n]) + c2*(v[n+2*dz]-v[n-dz]) +
+					c1*(w[n+dy]-w[n]) + c2*(w[n+2*dy]-w[n-dy]))
+				m := n + 1
+				exx2 := c1*(u[m]-u[m-dx]) + c2*(u[m+dx]-u[m-2*dx])
+				eyy2 := c1*(v[m]-v[m-dy]) + c2*(v[m+dy]-v[m-2*dy])
+				ezz2 := c1*(w[m]-w[m-dz]) + c2*(w[m+dz]-w[m-2*dz])
+				xx[m] += dth * (l2m[m]*exx2 + lam[m]*(eyy2+ezz2))
+				yy[m] += dth * (l2m[m]*eyy2 + lam[m]*(exx2+ezz2))
+				zz[m] += dth * (l2m[m]*ezz2 + lam[m]*(exx2+eyy2))
+				xy[m] += dth * mxy[m] * (c1*(u[m+dy]-u[m]) + c2*(u[m+2*dy]-u[m-dy]) +
+					c1*(v[m+dx]-v[m]) + c2*(v[m+2*dx]-v[m-dx]))
+				xz[m] += dth * mxz[m] * (c1*(u[m+dz]-u[m]) + c2*(u[m+2*dz]-u[m-dz]) +
+					c1*(w[m+dx]-w[m]) + c2*(w[m+2*dx]-w[m-dx]))
+				yz[m] += dth * myz[m] * (c1*(v[m+dz]-v[m]) + c2*(v[m+2*dz]-v[m-dz]) +
+					c1*(w[m+dy]-w[m]) + c2*(w[m+2*dy]-w[m-dy]))
 			}
 			for ; n < end; n++ {
-				body(n)
+				exx := c1*(u[n]-u[n-dx]) + c2*(u[n+dx]-u[n-2*dx])
+				eyy := c1*(v[n]-v[n-dy]) + c2*(v[n+dy]-v[n-2*dy])
+				ezz := c1*(w[n]-w[n-dz]) + c2*(w[n+dz]-w[n-2*dz])
+				xx[n] += dth * (l2m[n]*exx + lam[n]*(eyy+ezz))
+				yy[n] += dth * (l2m[n]*eyy + lam[n]*(exx+ezz))
+				zz[n] += dth * (l2m[n]*ezz + lam[n]*(exx+eyy))
+				xy[n] += dth * mxy[n] * (c1*(u[n+dy]-u[n]) + c2*(u[n+2*dy]-u[n-dy]) +
+					c1*(v[n+dx]-v[n]) + c2*(v[n+2*dx]-v[n-dx]))
+				xz[n] += dth * mxz[n] * (c1*(u[n+dz]-u[n]) + c2*(u[n+2*dz]-u[n-dz]) +
+					c1*(w[n+dx]-w[n]) + c2*(w[n+2*dx]-w[n-dx]))
+				yz[n] += dth * myz[n] * (c1*(v[n+dz]-v[n]) + c2*(v[n+2*dz]-v[n-dz]) +
+					c1*(w[n+dy]-w[n]) + c2*(w[n+2*dy]-w[n-dy]))
 			}
 		}
 	}

@@ -48,7 +48,7 @@ func TestVariantsAgree(t *testing.T) {
 	UpdateVelocity(ref, m, dt, box, Precomp, Blocking{})
 	UpdateStress(ref, m, dt, box, Precomp, Blocking{})
 
-	for _, v := range []Variant{Naive, Recip, Blocked, Unrolled} {
+	for _, v := range []Variant{Naive, Recip, Blocked, Unrolled, Fused} {
 		s := randomState(d, 42)
 		UpdateVelocity(s, m, dt, box, v, DefaultBlocking)
 		UpdateStress(s, m, dt, box, v, DefaultBlocking)
@@ -306,7 +306,7 @@ func TestBoxHelpers(t *testing.T) {
 }
 
 func TestVariantStrings(t *testing.T) {
-	names := map[Variant]string{Naive: "naive", Recip: "recip", Precomp: "precomp", Blocked: "blocked", Unrolled: "unrolled"}
+	names := map[Variant]string{Naive: "naive", Recip: "recip", Precomp: "precomp", Blocked: "blocked", Unrolled: "unrolled", Fused: "fused"}
 	for v, want := range names {
 		if v.String() != want {
 			t.Errorf("String(%d) = %q", int(v), v.String())
@@ -314,6 +314,145 @@ func TestVariantStrings(t *testing.T) {
 	}
 	if Variant(99).String() == "" {
 		t.Error("unknown variant string empty")
+	}
+}
+
+// The Fused restructuring (subslice windows instead of n±stride indexing)
+// must be bitwise identical to Precomp — Unrolled/Blocked only reorder the
+// iteration, but Fused rewrites every operand expression, so exact equality
+// is the meaningful check (and what the solver's fused attenuation path
+// relies on).
+func TestFusedExactVsPrecomp(t *testing.T) {
+	d := grid.Dims{NX: 13, NY: 11, NZ: 9}
+	m := makeMedium(t, heteroQuerier(), d, 200)
+	dt := m.StableDt(0.5)
+	boxes := []Box{
+		FullBox(d),
+		{I0: 1, I1: 12, J0: 2, J1: 9, K0: 3, K1: 8},
+		{I0: 5, I1: 6, J0: 0, J1: 11, K0: 0, K1: 9}, // single i-column
+	}
+	for _, box := range boxes {
+		ref := randomState(d, 17)
+		UpdateVelocity(ref, m, dt, box, Precomp, Blocking{})
+		UpdateStress(ref, m, dt, box, Precomp, Blocking{})
+		s := randomState(d, 17)
+		UpdateVelocity(s, m, dt, box, Fused, Blocking{})
+		UpdateStress(s, m, dt, box, Fused, Blocking{})
+		for fi, f := range s.Fields() {
+			a, b := f.Data(), ref.Fields()[fi].Data()
+			for n := range a {
+				if a[n] != b[n] {
+					t.Fatalf("box %v field %s idx %d: fused %g != precomp %g",
+						box, FieldNames[fi], n, a[n], b[n])
+				}
+			}
+		}
+	}
+}
+
+// forEachBlock edge cases: extents not multiples of the block factors,
+// single-plane boxes, and the Blocking{0,0} fallback to DefaultBlocking
+// must all partition the box (each cell visited exactly once) and hence
+// stay bit-identical to the unblocked kernel.
+func TestForEachBlockEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		box  Box
+		blk  Blocking
+	}{
+		{"non-multiple", Box{0, 9, 0, 13, 0, 19}, Blocking{JBlock: 4, KBlock: 5}},
+		{"single-j-plane", Box{0, 9, 6, 7, 0, 19}, Blocking{JBlock: 8, KBlock: 16}},
+		{"single-k-plane", Box{0, 9, 0, 13, 4, 5}, Blocking{JBlock: 8, KBlock: 16}},
+		{"single-point", Box{3, 4, 5, 6, 7, 8}, Blocking{JBlock: 8, KBlock: 16}},
+		{"zero-fallback", Box{0, 9, 0, 13, 0, 19}, Blocking{}},
+		{"block-larger-than-box", Box{0, 5, 0, 3, 0, 2}, Blocking{JBlock: 64, KBlock: 64}},
+	}
+	for _, tc := range cases {
+		visits := map[[2]int]int{}
+		forEachBlock(tc.box, tc.blk, func(b Box) {
+			if b.Empty() {
+				t.Errorf("%s: emitted empty tile %v", tc.name, b)
+			}
+			if b.I0 != tc.box.I0 || b.I1 != tc.box.I1 {
+				t.Errorf("%s: tile %v does not span full x extent", tc.name, b)
+			}
+			for k := b.K0; k < b.K1; k++ {
+				for j := b.J0; j < b.J1; j++ {
+					visits[[2]int{j, k}]++
+				}
+			}
+		})
+		for k := tc.box.K0; k < tc.box.K1; k++ {
+			for j := tc.box.J0; j < tc.box.J1; j++ {
+				if visits[[2]int{j, k}] != 1 {
+					t.Fatalf("%s: (j=%d,k=%d) visited %d times", tc.name, j, k, visits[[2]int{j, k}])
+				}
+			}
+		}
+	}
+	// Blocking{0,0} must produce exactly DefaultBlocking's tiling.
+	var got, want [][6]int
+	box := Box{0, 9, 0, 13, 0, 19}
+	forEachBlock(box, Blocking{}, func(b Box) {
+		got = append(got, [6]int{b.I0, b.I1, b.J0, b.J1, b.K0, b.K1})
+	})
+	forEachBlock(box, DefaultBlocking, func(b Box) {
+		want = append(want, [6]int{b.I0, b.I1, b.J0, b.J1, b.K0, b.K1})
+	})
+	if len(got) != len(want) {
+		t.Fatalf("Blocking{} emitted %d tiles, DefaultBlocking %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("tile %d: Blocking{} %v != DefaultBlocking %v", i, got[i], want[i])
+		}
+	}
+	// And the blocked kernel must be bit-identical to the unblocked one for
+	// every edge-case blocking above.
+	d := grid.Dims{NX: 9, NY: 13, NZ: 19}
+	m := makeMedium(t, heteroQuerier(), d, 200)
+	dt := m.StableDt(0.5)
+	ref := randomState(d, 23)
+	UpdateVelocity(ref, m, dt, FullBox(d), Precomp, Blocking{})
+	UpdateStress(ref, m, dt, FullBox(d), Precomp, Blocking{})
+	for _, blk := range []Blocking{{JBlock: 4, KBlock: 5}, {}, {JBlock: 64, KBlock: 64}, {JBlock: 1, KBlock: 1}} {
+		s := randomState(d, 23)
+		UpdateVelocity(s, m, dt, FullBox(d), Blocked, blk)
+		UpdateStress(s, m, dt, FullBox(d), Blocked, blk)
+		for fi, f := range s.Fields() {
+			a, b := f.Data(), ref.Fields()[fi].Data()
+			for n := range a {
+				if a[n] != b[n] {
+					t.Fatalf("blk %+v field %s idx %d: %g != %g", blk, FieldNames[fi], n, a[n], b[n])
+				}
+			}
+		}
+	}
+}
+
+func TestParseVariant(t *testing.T) {
+	for v := Naive; v <= Fused; v++ {
+		got, err := ParseVariant(v.String())
+		if err != nil || got != v {
+			t.Errorf("ParseVariant(%q) = %v, %v", v.String(), got, err)
+		}
+	}
+	if _, err := ParseVariant("auto"); err == nil {
+		t.Error("ParseVariant(auto) should fail — auto is resolved by the tuner, not fd")
+	}
+	if _, err := ParseVariant(""); err == nil {
+		t.Error("ParseVariant(\"\") should fail")
+	}
+}
+
+func TestVariantValidate(t *testing.T) {
+	for v := Naive; v <= Fused; v++ {
+		if err := v.Validate(); err != nil {
+			t.Errorf("Validate(%v) = %v", v, err)
+		}
+	}
+	if Variant(-1).Validate() == nil || Variant(99).Validate() == nil {
+		t.Error("out-of-range variants must not validate")
 	}
 }
 

@@ -1,0 +1,85 @@
+package solver
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core/fd"
+	"repro/internal/cvm"
+	"repro/internal/mpi"
+)
+
+// expectResultsExact asserts exact float equality of seismograms and all
+// four PGV maps — the rank-0 observables of every wavefield the run
+// touches.
+func expectResultsExact(t *testing.T, label string, ref, res *Result) {
+	t.Helper()
+	for r := range ref.Seismograms {
+		for n := range ref.Seismograms[r] {
+			if ref.Seismograms[r][n] != res.Seismograms[r][n] {
+				t.Fatalf("%s: receiver %d sample %d differs from reference", label, r, n)
+			}
+		}
+	}
+	maps := [][2][]float64{{ref.PGVH, res.PGVH}, {ref.PGVX, res.PGVX}, {ref.PGVY, res.PGVY}, {ref.PGVZ, res.PGVZ}}
+	for mi, m := range maps {
+		for i := range m[0] {
+			if m[0][i] != m[1][i] {
+				t.Fatalf("%s: PGV map %d mismatch at %d: %g != %g", label, mi, i, m[0][i], m[1][i])
+			}
+		}
+	}
+}
+
+// The fused sweep (single-pass stress+attenuation, folded sponge/PGV) must
+// reproduce the two-pass Precomp reference bit-exactly across every comm
+// model, threading level, and halo discipline — the engine only changes
+// how memory is streamed, never a single arithmetic result.
+func TestFusedBitIdentityMatrix(t *testing.T) {
+	q := cvm.SoCal(2400, 2400, 1600, 400)
+	ref, err := Run(q, baseOptions(mpi.NewCart(1, 1, 1))) // serial Precomp + ApplyTiled
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Serial fused first: isolates the kernel restructuring from the
+	// decomposition.
+	serial := baseOptions(mpi.NewCart(1, 1, 1))
+	serial.Variant = fd.Fused
+	res, err := Run(q, serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectResultsExact(t, "serial fused", ref, res)
+
+	for _, model := range []CommModel{Synchronous, Asynchronous, AsyncReduced, AsyncOverlap} {
+		for _, threads := range []int{1, 4} {
+			for _, coalesce := range []bool{false, true} {
+				opt := baseOptions(mpi.NewCart(2, 2, 1))
+				opt.Comm = model
+				opt.Threads = threads
+				opt.CoalesceHalo = coalesce
+				opt.Variant = fd.Fused
+				res, err := Run(q, opt)
+				if err != nil {
+					t.Fatalf("%v threads=%d coalesce=%v: %v", model, threads, coalesce, err)
+				}
+				expectResultsExact(t, fmt.Sprintf("%v threads=%d coalesce=%v", model, threads, coalesce), ref, res)
+			}
+		}
+	}
+}
+
+// Unknown variants must be rejected at configuration time, not panic deep
+// inside the first kernel call.
+func TestUnknownVariantRejected(t *testing.T) {
+	opt := baseOptions(mpi.NewCart(1, 1, 1))
+	opt.Variant = fd.Variant(99)
+	if _, err := Run(cvm.HardRock(), opt); err == nil {
+		t.Fatal("Variant=99 accepted; must be rejected by Run")
+	}
+	opt.Variant = fd.Variant(-1)
+	if _, err := Run(cvm.HardRock(), opt); err == nil {
+		t.Fatal("Variant=-1 accepted; must be rejected by Run")
+	}
+}

@@ -153,6 +153,9 @@ func Run(q cvm.Querier, opt Options) (*Result, error) {
 	if opt.Threads < 0 {
 		return nil, fmt.Errorf("solver: Threads must be >= 0, got %d", opt.Threads)
 	}
+	if err := opt.Variant.Validate(); err != nil {
+		return nil, fmt.Errorf("solver: %w", err)
+	}
 	if opt.Threads == 0 {
 		opt.Threads = 1
 	}
@@ -223,6 +226,10 @@ type rankState struct {
 	pgvx      []float64
 	pgvy      []float64
 	pgvz      []float64
+	// pgvFolded marks that the PGV fold rides inside the sponge's fused
+	// surface pass (Fused variant + sponge ABC), so the Output-phase
+	// trackPGV call must not fold a second time.
+	pgvFolded bool
 }
 
 type ownedReceiver struct {
@@ -299,6 +306,11 @@ func runRank(c *mpi.Comm, q cvm.Querier, dc decomp.Decomp, opt Options) (*Result
 		rs.pgvy = make([]float64, n)
 		rs.pgvz = make([]float64, n)
 	}
+	// With the fused engine and a sponge, the PGV fold rides inside the
+	// sponge's surface-row pass (the rows are already in cache there);
+	// velocities are not modified between the sponge and the Output phase,
+	// so the folded values are bit-identical to the two-pass schedule.
+	rs.pgvFolded = opt.Variant == fd.Fused && rs.sponge != nil && rs.pgvh != nil
 
 	momentRate := make([]float64, 0, opt.Steps)
 	var tm Timing
@@ -521,7 +533,11 @@ func (rs *rankState) advance(opt Options, dt, tNow float64, tm *Timing) {
 	t0 = time.Now()
 	if rs.sponge != nil {
 		sp := rs.tel.Span(telemetry.Boundary)
-		rs.sponge.ApplyPool(rs.st, rs.pool)
+		if rs.pgvFolded {
+			rs.sponge.ApplySurfaceFused(rs.st, rs.pool, rs.trackPGVRow)
+		} else {
+			rs.sponge.ApplyPool(rs.st, rs.pool)
+		}
 		sp.End()
 	}
 	if rs.fs != nil {
@@ -538,6 +554,18 @@ func (rs *rankState) advance(opt Options, dt, tNow float64, tm *Timing) {
 // attenuation time is still attributed separately; Span.End is safe from
 // concurrent pool workers.
 func (rs *rankState) stressTile(opt Options, dt float64) func(fd.Box) {
+	if opt.Variant == fd.Fused && rs.atten != nil {
+		// Fully fused sweep: the memory-variable update runs point-by-point
+		// inside the elastic i-loop, one read/modify/write of the six
+		// stress fields per step instead of two. Bit-identical to the
+		// two-pass tile below; the combined time lands in the Stress span
+		// (there is no separate attenuation pass to time).
+		return func(b fd.Box) {
+			sp := rs.tel.Span(telemetry.Stress)
+			rs.atten.FusedStress(rs.st, rs.med, dt, b)
+			sp.End()
+		}
+	}
 	return func(b fd.Box) {
 		sp := rs.tel.Span(telemetry.Stress)
 		fd.UpdateStress(rs.st, rs.med, dt, b, opt.Variant, opt.Blocking)
@@ -566,7 +594,7 @@ func (rs *rankState) clipStrips(strips []fd.Box) []fd.Box {
 // row-sliced over the pool (rows are disjoint, so the parallel fold is
 // race-free and bit-identical to the serial one).
 func (rs *rankState) trackPGV() {
-	if rs.pgvh == nil {
+	if rs.pgvh == nil || rs.pgvFolded {
 		return
 	}
 	rs.pool.ForEachN(rs.sub.Local.NY, rs.trackPGVRow)

@@ -1,0 +1,188 @@
+package tuner
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core/fd"
+	"repro/internal/grid"
+)
+
+// The profile must round-trip: the first call benchmarks and writes, the
+// second call for the same key returns the cached winner without invoking
+// the benchmark at all.
+func TestAutotuneRoundTrip(t *testing.T) {
+	cache := filepath.Join(t.TempDir(), "profile.json")
+	calls := 0
+	opt := AutotuneOptions{
+		Dims:      grid.Dims{NX: 96, NY: 80, NZ: 64},
+		Threads:   4,
+		CachePath: cache,
+		benchFn: func(v fd.Variant, blk fd.Blocking) float64 {
+			calls++
+			// Craft a clear winner: Fused {16,16}.
+			cost := 10.0
+			if v == fd.Fused {
+				cost = 5.0
+			}
+			if v == fd.Fused && blk.JBlock == 16 && blk.KBlock == 16 {
+				cost = 1.0
+			}
+			return cost
+		},
+	}
+	choice, samples, err := AutotuneKernels(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("benchmark never invoked on cold cache")
+	}
+	if choice.FromCache {
+		t.Fatal("cold-cache choice reported FromCache")
+	}
+	if choice.Variant != fd.Fused || choice.Blocking.JBlock != 16 || choice.Blocking.KBlock != 16 {
+		t.Fatalf("wrong winner: %v %+v", choice.Variant, choice.Blocking)
+	}
+	if len(samples) != len(autotuneCandidates(false)) {
+		t.Fatalf("expected %d samples, got %d", len(autotuneCandidates(false)), len(samples))
+	}
+
+	calls = 0
+	cached, samples2, err := AutotuneKernels(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Fatalf("benchmark re-invoked %d times despite cached profile", calls)
+	}
+	if !cached.FromCache {
+		t.Fatal("warm-cache choice not reported FromCache")
+	}
+	if cached.Variant != choice.Variant || cached.Blocking != choice.Blocking || cached.NsPerCell != choice.NsPerCell {
+		t.Fatalf("cached choice %+v differs from original %+v", cached, choice)
+	}
+	if len(samples2) != len(samples) {
+		t.Fatalf("cached samples %d != original %d", len(samples2), len(samples))
+	}
+}
+
+// Different dims / threads / attenuation must key separate profile entries.
+func TestAutotuneKeySeparation(t *testing.T) {
+	cache := filepath.Join(t.TempDir(), "profile.json")
+	calls := 0
+	mk := func(d grid.Dims, threads int, atten bool) AutotuneOptions {
+		return AutotuneOptions{
+			Dims: d, Threads: threads, Attenuation: atten, CachePath: cache,
+			benchFn: func(fd.Variant, fd.Blocking) float64 { calls++; return 1 },
+		}
+	}
+	base := grid.Dims{NX: 32, NY: 32, NZ: 32}
+	for _, o := range []AutotuneOptions{
+		mk(base, 1, false),
+		mk(grid.Dims{NX: 64, NY: 32, NZ: 32}, 1, false), // different shape
+		mk(base, 2, false), // different threads
+		mk(base, 1, true),  // attenuation on
+	} {
+		before := calls
+		if _, _, err := AutotuneKernels(o); err != nil {
+			t.Fatal(err)
+		}
+		if calls == before {
+			t.Fatalf("options %+v hit a cache entry it should not share", o)
+		}
+	}
+	// And each re-read hits its own entry.
+	before := calls
+	if _, _, err := AutotuneKernels(mk(base, 1, true)); err != nil {
+		t.Fatal(err)
+	}
+	if calls != before {
+		t.Fatal("repeat lookup re-benchmarked")
+	}
+}
+
+// A corrupt profile is a cache miss, not an error.
+func TestAutotuneCorruptProfile(t *testing.T) {
+	cache := filepath.Join(t.TempDir(), "profile.json")
+	if err := os.WriteFile(cache, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	opt := AutotuneOptions{
+		Dims: grid.Dims{NX: 16, NY: 16, NZ: 16}, Threads: 1, CachePath: cache,
+		benchFn: func(fd.Variant, fd.Blocking) float64 { calls++; return 1 },
+	}
+	if _, _, err := AutotuneKernels(opt); err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("corrupt profile treated as a hit")
+	}
+	// The rewrite must leave valid JSON behind.
+	data, err := os.ReadFile(cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p kernelProfile
+	if err := json.Unmarshal(data, &p); err != nil {
+		t.Fatalf("profile not rewritten as valid JSON: %v", err)
+	}
+	if len(p.Entries) != 1 {
+		t.Fatalf("expected 1 entry after rewrite, got %d", len(p.Entries))
+	}
+}
+
+// End-to-end with the real micro-benchmark on a tiny grid: the sweep must
+// complete, return a valid ladder variant, and persist a parseable profile.
+func TestAutotuneEndToEndQuick(t *testing.T) {
+	cache := filepath.Join(t.TempDir(), "profile.json")
+	opt := AutotuneOptions{
+		Dims:        grid.Dims{NX: 16, NY: 12, NZ: 10},
+		Threads:     2,
+		Attenuation: true,
+		CachePath:   cache,
+		Quick:       true,
+	}
+	choice, samples, err := AutotuneKernels(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := choice.Variant.Validate(); err != nil {
+		t.Fatalf("winner has invalid variant: %v", err)
+	}
+	if choice.NsPerCell <= 0 {
+		t.Fatalf("non-positive measurement: %g", choice.NsPerCell)
+	}
+	if len(samples) != len(autotuneCandidates(true)) {
+		t.Fatalf("expected %d quick samples, got %d", len(autotuneCandidates(true)), len(samples))
+	}
+	for _, s := range samples {
+		if s.NsPerCell <= 0 {
+			t.Fatalf("sample %+v has non-positive timing", s)
+		}
+	}
+	if _, err := os.Stat(cache); err != nil {
+		t.Fatalf("profile not written: %v", err)
+	}
+	// Warm call must not re-run kernels (FromCache observable).
+	again, _, err := AutotuneKernels(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.FromCache {
+		t.Fatal("second end-to-end call did not hit the cache")
+	}
+}
+
+func TestDefaultProfilePath(t *testing.T) {
+	p, err := DefaultProfilePath()
+	if err != nil {
+		t.Skipf("no user cache dir in this environment: %v", err)
+	}
+	if filepath.Base(p) != "kernel-profile.json" {
+		t.Fatalf("unexpected profile path %q", p)
+	}
+}
