@@ -341,7 +341,7 @@ func BenchmarkEngineHaloSendMode(b *testing.B) {
 				}
 			} else {
 				for i := 0; i < b.N; i++ {
-					in, _ := c.RecvTake(0, 1)
+					in, _ := c.MustRecvTake(0, 1)
 					mpi.PutBuffer(in)
 				}
 			}

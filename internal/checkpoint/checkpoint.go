@@ -12,7 +12,6 @@ import (
 	"repro/internal/core/attenuation"
 	"repro/internal/core/fd"
 	"repro/internal/grid"
-	"repro/internal/mpiio"
 	"repro/internal/pfs"
 	"repro/internal/telemetry"
 )
@@ -22,18 +21,17 @@ func FileName(dir string, rank, step int) string {
 	return fmt.Sprintf("%s/ckpt.%06d.step%09d", dir, rank, step)
 }
 
-// Save writes one rank's state at the given step. atten may be nil. An
-// optional telemetry recorder (at most one) attributes the serialization
-// wall time to the Checkpoint phase; existing call sites need no change.
-func Save(fsys *pfs.FS, dir string, rank, step int, s *fd.State, atten *attenuation.Model, rec ...*telemetry.Recorder) pfs.PhaseStats {
+// Save writes one rank's state at the given step as a v2 checkpoint file
+// (exact int64 header, CRC64 trailer) using the atomic write-temp-then-
+// rename protocol: a reader concurrently scanning the directory never
+// observes a half-written file under the final name. Transient PFS
+// faults are retried with bounded backoff; a torn write that slips
+// through is caught later by the CRC in Load/FindLatestValid. atten may
+// be nil. An optional telemetry recorder (at most one) attributes the
+// serialization wall time to the Checkpoint phase.
+func Save(fsys *pfs.FS, dir string, rank, step int, s *fd.State, atten *attenuation.Model, rec ...*telemetry.Recorder) (pfs.PhaseStats, error) {
 	defer ckptSpan(rec).End()
 	var buf []float32
-	buf = append(buf, float32(step), float32(s.Dims.NX), float32(s.Dims.NY), float32(s.Dims.NZ))
-	hasAtten := float32(0)
-	if atten != nil {
-		hasAtten = 1
-	}
-	buf = append(buf, hasAtten)
 	for _, f := range s.Fields() {
 		buf = append(buf, f.Data()...)
 	}
@@ -42,10 +40,17 @@ func Save(fsys *pfs.FS, dir string, rank, step int, s *fd.State, atten *attenuat
 			buf = append(buf, f.Data()...)
 		}
 	}
-	data := mpiio.PutFloat32s(buf)
+	data := Encode(step, s.Dims, atten != nil, buf)
 	path := FileName(dir, rank, step)
-	fsys.WriteAt(path, 0, data)
-	return fsys.SimulatePhase([]pfs.Op{{Path: path, Bytes: len(data), Write: true, Open: true}})
+	tmp := path + ".tmp"
+	retry := pfs.DefaultRetry()
+	if err := retry.Do(func() error { return fsys.WriteAt(tmp, 0, data) }); err != nil {
+		return pfs.PhaseStats{}, fmt.Errorf("checkpoint: write %s: %w", tmp, err)
+	}
+	if err := retry.Do(func() error { return fsys.Rename(tmp, path) }); err != nil {
+		return pfs.PhaseStats{}, fmt.Errorf("checkpoint: commit %s: %w", path, err)
+	}
+	return fsys.SimulatePhase([]pfs.Op{{Path: path, Bytes: len(data), Write: true, Open: true}}), nil
 }
 
 // Load restores one rank's state saved at step. The destination state and
@@ -63,22 +68,20 @@ func Load(fsys *pfs.FS, dir string, rank, step int, s *fd.State, atten *attenuat
 	if err := fsys.ReadAt(path, 0, raw); err != nil {
 		return err
 	}
-	vals := mpiio.GetFloat32s(raw)
-	if len(vals) < 5 {
-		return fmt.Errorf("checkpoint: %s truncated", path)
+	h, vals, err := Decode(raw)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %s: %w", path, err)
 	}
-	if int(vals[0]) != step {
-		return fmt.Errorf("checkpoint: %s step %d, want %d", path, int(vals[0]), step)
+	if h.Step != int64(step) {
+		return fmt.Errorf("checkpoint: %s step %d, want %d", path, h.Step, step)
 	}
-	d := grid.Dims{NX: int(vals[1]), NY: int(vals[2]), NZ: int(vals[3])}
-	if d != s.Dims {
-		return fmt.Errorf("checkpoint: dims %v, state has %v", d, s.Dims)
+	if h.Dims != s.Dims {
+		return fmt.Errorf("checkpoint: dims %v, state has %v", h.Dims, s.Dims)
 	}
-	hasAtten := vals[4] == 1
-	if hasAtten != (atten != nil) {
+	if h.HasAtten != (atten != nil) {
 		return fmt.Errorf("checkpoint: attenuation presence mismatch")
 	}
-	p := 5
+	p := 0
 	for _, f := range s.Fields() {
 		n := len(f.Data())
 		if p+n > len(vals) {
@@ -97,7 +100,55 @@ func Load(fsys *pfs.FS, dir string, rank, step int, s *fd.State, atten *attenuat
 			p += n
 		}
 	}
+	if p != len(vals) {
+		return fmt.Errorf("checkpoint: %s has %d trailing payload values", path, len(vals)-p)
+	}
 	return nil
+}
+
+// FindLatestValid scans dir for per-rank checkpoint files and returns
+// the newest coordinated step: the largest step for which every rank in
+// [0, nranks) has a checkpoint whose CRC64 verifies and whose header
+// step matches its filename. Truncated, torn, bit-flipped, legacy-v1,
+// and in-flight .tmp files are skipped. Returns -1 when no coordinated
+// step exists.
+func FindLatestValid(fsys *pfs.FS, dir string, nranks int) int {
+	valid := map[int]map[int]bool{} // step -> set of ranks with a valid file
+	prefix := dir + "/"
+	for _, path := range fsys.List() {
+		if len(path) <= len(prefix) || path[:len(prefix)] != prefix {
+			continue
+		}
+		var rank, step int
+		if n, err := fmt.Sscanf(path[len(prefix):], "ckpt.%d.step%d", &rank, &step); n != 2 || err != nil {
+			continue
+		}
+		if path != FileName(dir, rank, step) { // excludes .tmp files
+			continue
+		}
+		if rank < 0 || rank >= nranks {
+			continue
+		}
+		raw := make([]byte, fsys.Size(path))
+		if err := fsys.ReadAt(path, 0, raw); err != nil {
+			continue
+		}
+		h, _, err := Decode(raw)
+		if err != nil || h.Step != int64(step) {
+			continue
+		}
+		if valid[step] == nil {
+			valid[step] = map[int]bool{}
+		}
+		valid[step][rank] = true
+	}
+	best := -1
+	for step, ranks := range valid {
+		if len(ranks) == nranks && step > best {
+			best = step
+		}
+	}
+	return best
 }
 
 func attenFields(a *attenuation.Model) []*grid.Field3 {

@@ -50,7 +50,11 @@ func TestRestartBitIdentical(t *testing.T) {
 	for n := 0; n < 30; n++ {
 		step(s, m, a, dt)
 	}
-	if st := Save(fsys, "ckpt", 0, 30, s, a); st.Bytes == 0 {
+	st, err := Save(fsys, "ckpt", 0, 30, s, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Bytes == 0 {
 		t.Fatal("no checkpoint bytes")
 	}
 	for n := 0; n < 30; n++ {
@@ -77,7 +81,9 @@ func TestSaveWithoutAttenuation(t *testing.T) {
 	fsys := testFS()
 	s := fd.NewState(d)
 	s.XY.Set(2, 2, 2, 5)
-	Save(fsys, "c", 3, 100, s, nil)
+	if _, err := Save(fsys, "c", 3, 100, s, nil); err != nil {
+		t.Fatal(err)
+	}
 	s2 := fd.NewState(d)
 	if err := Load(fsys, "c", 3, 100, s2, nil); err != nil {
 		t.Fatal(err)
@@ -97,7 +103,9 @@ func TestLoadErrors(t *testing.T) {
 	if err := Load(fsys, "c", 0, 1, s, nil); err == nil {
 		t.Error("missing checkpoint loaded")
 	}
-	Save(fsys, "c", 0, 1, s, nil)
+	if _, err := Save(fsys, "c", 0, 1, s, nil); err != nil {
+		t.Fatal(err)
+	}
 	if err := Load(fsys, "c", 0, 2, s, nil); err == nil {
 		t.Error("wrong step loaded")
 	}

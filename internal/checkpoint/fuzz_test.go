@@ -1,0 +1,37 @@
+package checkpoint
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+)
+
+// FuzzDecode throws arbitrary bytes at the v2 header/CRC decoder. The
+// invariants: never panic, never accept a payload whose CRC does not
+// verify, and accept-then-reencode must be stable.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(Encode(0, grid.Dims{NX: 1, NY: 1, NZ: 1}, false, nil))
+	f.Add(Encode(1<<30, grid.Dims{NX: 3, NY: 2, NZ: 1}, true, []float32{1, 2, 3}))
+	damaged := Encode(7, grid.Dims{NX: 2, NY: 2, NZ: 2}, false, []float32{4, 5})
+	damaged[headerLen] ^= 0x80
+	f.Add(damaged)
+	f.Add(damaged[:headerLen+1])
+	f.Add([]byte("AWPC not really a checkpoint"))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		h, vals, err := Decode(raw)
+		if err != nil {
+			return
+		}
+		// Accepted: the header must be self-consistent and re-encoding the
+		// decoded content must reproduce the input exactly.
+		if h.Version != FormatVersion || h.PayloadVals != len(vals) {
+			t.Fatalf("accepted inconsistent header %+v with %d vals", h, len(vals))
+		}
+		re := Encode(int(h.Step), h.Dims, h.HasAtten, vals)
+		if string(re) != string(raw) {
+			t.Fatalf("re-encode of accepted file differs: %d vs %d bytes", len(re), len(raw))
+		}
+	})
+}

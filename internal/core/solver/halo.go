@@ -180,14 +180,14 @@ func (h *halo) exchangeSync(fields []*grid.Field3, slots []int, axes func(int) [
 				if h.copyMode {
 					in := h.buf(tag(slots[fi], ax, side == 1)*2+1, n)
 					sp := h.tel.Span(telemetry.Recv)
-					h.comm.Recv(in, peer, tag(slots[fi], ax, side == 0))
+					h.comm.MustRecv(in, peer, tag(slots[fi], ax, side == 0))
 					sp.End()
 					sp = h.tel.Span(telemetry.Unpack)
 					f.UnpackFace(ax, sd, grid.Ghost, in)
 					sp.End()
 				} else {
 					sp := h.tel.Span(telemetry.Recv)
-					in, _ := h.comm.RecvTake(peer, tag(slots[fi], ax, side == 0))
+					in, _ := h.comm.MustRecvTake(peer, tag(slots[fi], ax, side == 0))
 					sp.End()
 					sp = h.tel.Span(telemetry.Unpack)
 					f.UnpackFace(ax, sd, grid.Ghost, in)

@@ -1,7 +1,6 @@
 package solver
 
 import (
-	"fmt"
 	"math"
 	"time"
 
@@ -147,42 +146,9 @@ type Timing struct {
 
 // Run executes the simulation and returns the rank-0 result.
 func Run(q cvm.Querier, opt Options) (*Result, error) {
-	if opt.Topo.Size() == 0 {
-		opt.Topo = mpi.NewCart(1, 1, 1)
-	}
-	if opt.Threads < 0 {
-		return nil, fmt.Errorf("solver: Threads must be >= 0, got %d", opt.Threads)
-	}
-	if err := opt.Variant.Validate(); err != nil {
-		return nil, fmt.Errorf("solver: %w", err)
-	}
-	if opt.Threads == 0 {
-		opt.Threads = 1
-	}
-	if opt.RecordEvery <= 0 {
-		opt.RecordEvery = 1
-	}
-	if opt.PMLWidth <= 0 {
-		opt.PMLWidth = boundary.DefaultPMLWidth
-	}
-	if opt.SpongeWidth <= 0 {
-		opt.SpongeWidth = boundary.DefaultSpongeWidth
-	}
-	if opt.SpongeAlpha <= 0 {
-		opt.SpongeAlpha = boundary.DefaultSpongeAlpha
-	}
-	if opt.Band.FMax <= 0 {
-		opt.Band = attenuation.DefaultBand
-	}
-	dc, err := decomp.New(opt.Global, opt.Topo)
+	dc, opt, err := Prepare(opt)
 	if err != nil {
 		return nil, err
-	}
-	if opt.Fault != nil && opt.Topo.PY != 1 {
-		return nil, fmt.Errorf("solver: DFR mode requires PY=1 (fault plane may not cross rank seams in y)")
-	}
-	if opt.Fault != nil && opt.Comm == AsyncOverlap {
-		return nil, fmt.Errorf("solver: DFR mode does not support the overlap comm model")
 	}
 
 	var result *Result
@@ -239,112 +205,15 @@ type ownedReceiver struct {
 }
 
 func runRank(c *mpi.Comm, q cvm.Querier, dc decomp.Decomp, opt Options) (*Result, error) {
-	rs := &rankState{comm: c, sub: dc.SubFor(c.Rank())}
-	rs.med = medium.FromCVM(q, dc, rs.sub, opt.H)
-	rs.st = fd.NewState(rs.sub.Local)
-	rs.pool = sched.NewPool(opt.Threads)
-	defer rs.pool.Close()
-	rs.hx = newHalo(c, opt.Topo, opt.CopyHalo, opt.CoalesceHalo, rs.pool)
-	if opt.Telemetry != nil {
-		rs.tel = telemetry.NewRecorder(c.Rank(), opt.Telemetry.TraceEvents)
-		c.SetTelemetry(rs.tel)
-		rs.pool.SetTelemetry(rs.tel)
-		rs.hx.tel = rs.tel
+	s, err := NewStepper(c, q, dc, opt)
+	if err != nil {
+		return nil, err
 	}
-	for ax := 0; ax < 3; ax++ {
-		rs.nbrMask[ax][0] = opt.Topo.Neighbor(c.Rank(), ax, -1) >= 0
-		rs.nbrMask[ax][1] = opt.Topo.Neighbor(c.Rank(), ax, +1) >= 0
+	defer s.Close()
+	for !s.Done() {
+		s.Step()
 	}
-
-	// Global stable dt.
-	dt := opt.Dt
-	if dt <= 0 {
-		dt = c.Allreduce([]float64{rs.med.StableDt(0.5)}, mpi.Min)[0]
-	}
-
-	// Boundary conditions on the physical faces this rank owns.
-	faces := ownedFaces(dc, c.Rank(), opt)
-	rs.compBox = fd.FullBox(rs.sub.Local)
-	switch opt.ABC {
-	case MPMLABC:
-		vpMax := c.Allreduce([]float64{rs.med.MaxVp}, mpi.Max)[0]
-		rs.zones, rs.compBox = boundary.BuildPML(rs.sub.Local, faces, opt.PMLWidth,
-			boundary.DefaultMPMLRatio, boundary.DefaultPMLReflection, vpMax, opt.H)
-	case SpongeABC:
-		globalFaces := boundary.FaceSet{
-			XLo: true, XHi: true, YLo: true, YHi: true,
-			ZLo: !opt.FreeSurface, ZHi: true,
-		}
-		rs.sponge = boundary.NewSpongeGlobal(rs.sub.Local, opt.Global,
-			[3]int{rs.sub.OffX, rs.sub.OffY, rs.sub.OffZ},
-			opt.SpongeWidth, opt.SpongeAlpha, globalFaces)
-	}
-	if opt.FreeSurface && rs.sub.OffZ == 0 {
-		rs.fs = boundary.NewFreeSurface(rs.sub.Local)
-	}
-	if opt.Attenuation {
-		rs.atten = attenuation.New(rs.med, opt.Band, dt)
-		rs.atten.Origin = [3]int{rs.sub.OffX, rs.sub.OffY, rs.sub.OffZ}
-	}
-	rs.srcs = source.Localize(opt.Sources, rs.sub, opt.H)
-
-	if opt.Fault != nil {
-		if err := rs.setupFault(opt, dt); err != nil {
-			return nil, err
-		}
-	}
-
-	for idx, r := range opt.Receivers {
-		if li, lj, lk, ok := rs.sub.Contains(r[0], r[1], r[2]); ok {
-			rs.receivers = append(rs.receivers, ownedReceiver{idx: idx, li: li, lj: lj, lk: lk})
-		}
-	}
-	if opt.TrackPGV && rs.sub.OffZ == 0 {
-		n := rs.sub.Local.NX * rs.sub.Local.NY
-		rs.pgvh = make([]float64, n)
-		rs.pgvx = make([]float64, n)
-		rs.pgvy = make([]float64, n)
-		rs.pgvz = make([]float64, n)
-	}
-	// With the fused engine and a sponge, the PGV fold rides inside the
-	// sponge's surface-row pass (the rows are already in cache there);
-	// velocities are not modified between the sponge and the Output phase,
-	// so the folded values are bit-identical to the two-pass schedule.
-	rs.pgvFolded = opt.Variant == fd.Fused && rs.sponge != nil && rs.pgvh != nil
-
-	momentRate := make([]float64, 0, opt.Steps)
-	var tm Timing
-
-	for step := 0; step < opt.Steps; step++ {
-		tNow := float64(step+1) * dt
-		rs.advance(opt, dt, tNow, &tm)
-
-		if rs.fault != nil {
-			momentRate = append(momentRate, rs.fault.MomentRate(rs.med))
-			if rs.recorder != nil && step%opt.Fault.RecordEvery == 0 {
-				rs.recorder.Record()
-			}
-		}
-
-		t0 := time.Now()
-		sp := rs.tel.Span(telemetry.Output)
-		if step%opt.RecordEvery == 0 {
-			for i := range rs.receivers {
-				r := &rs.receivers[i]
-				r.series = append(r.series, [3]float32{
-					rs.st.VX.At(r.li, r.lj, r.lk),
-					rs.st.VY.At(r.li, r.lj, r.lk),
-					rs.st.VZ.At(r.li, r.lj, r.lk),
-				})
-			}
-		}
-		rs.trackPGV()
-		sp.End()
-		tm.Output += time.Since(t0).Seconds()
-		rs.tel.StepEnd()
-	}
-
-	return rs.collect(c, dc, opt, dt, momentRate, tm)
+	return s.Finish()
 }
 
 // ownedFaces reduces the ABC face set to the physical faces of this rank,

@@ -1,0 +1,240 @@
+package solver
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core/attenuation"
+	"repro/internal/core/boundary"
+	"repro/internal/core/fd"
+	"repro/internal/core/sched"
+	"repro/internal/core/source"
+	"repro/internal/cvm"
+	"repro/internal/decomp"
+	"repro/internal/medium"
+	"repro/internal/mpi"
+	"repro/internal/telemetry"
+)
+
+// Prepare normalizes opt (defaulting exactly as Run does) and builds the
+// domain decomposition. External harnesses (internal/ft) call it once
+// before spawning ranks so every rank sees identical resolved options.
+func Prepare(opt Options) (decomp.Decomp, Options, error) {
+	if opt.Topo.Size() == 0 {
+		opt.Topo = mpi.NewCart(1, 1, 1)
+	}
+	if opt.Threads < 0 {
+		return decomp.Decomp{}, opt, fmt.Errorf("solver: Threads must be >= 0, got %d", opt.Threads)
+	}
+	if err := opt.Variant.Validate(); err != nil {
+		return decomp.Decomp{}, opt, fmt.Errorf("solver: %w", err)
+	}
+	if opt.Threads == 0 {
+		opt.Threads = 1
+	}
+	if opt.RecordEvery <= 0 {
+		opt.RecordEvery = 1
+	}
+	if opt.PMLWidth <= 0 {
+		opt.PMLWidth = boundary.DefaultPMLWidth
+	}
+	if opt.SpongeWidth <= 0 {
+		opt.SpongeWidth = boundary.DefaultSpongeWidth
+	}
+	if opt.SpongeAlpha <= 0 {
+		opt.SpongeAlpha = boundary.DefaultSpongeAlpha
+	}
+	if opt.Band.FMax <= 0 {
+		opt.Band = attenuation.DefaultBand
+	}
+	dc, err := decomp.New(opt.Global, opt.Topo)
+	if err != nil {
+		return decomp.Decomp{}, opt, err
+	}
+	if opt.Fault != nil && opt.Topo.PY != 1 {
+		return decomp.Decomp{}, opt, fmt.Errorf("solver: DFR mode requires PY=1 (fault plane may not cross rank seams in y)")
+	}
+	if opt.Fault != nil && opt.Comm == AsyncOverlap {
+		return decomp.Decomp{}, opt, fmt.Errorf("solver: DFR mode does not support the overlap comm model")
+	}
+	return dc, opt, nil
+}
+
+// Stepper drives one rank of a prepared run one time step at a time —
+// the re-entrant core of runRank, exposed so the fault-tolerance harness
+// can interleave stepping with checkpointing and roll the step cursor
+// back after a coordinated recovery. All per-step observables are
+// index-addressed (receiver samples by sample index, moment rate by step,
+// PGV by monotone max-fold), so replaying a step range after a rollback
+// overwrites identical values and the final outputs stay bit-identical
+// to an uninterrupted run. (DFR slip-rate *history* recording appends and
+// is not replay-safe; harnesses must not combine Fault.RecordEvery with
+// rollback.)
+type Stepper struct {
+	rs         *rankState
+	opt        Options
+	dc         decomp.Decomp
+	c          *mpi.Comm
+	dt         float64
+	step       int
+	momentRate []float64
+	tm         Timing
+}
+
+// NewStepper builds one rank's solver state inside a world body. opt and
+// dc must come from Prepare. Callers must Close the Stepper.
+func NewStepper(c *mpi.Comm, q cvm.Querier, dc decomp.Decomp, opt Options) (*Stepper, error) {
+	rs := &rankState{comm: c, sub: dc.SubFor(c.Rank())}
+	rs.med = medium.FromCVM(q, dc, rs.sub, opt.H)
+	rs.st = fd.NewState(rs.sub.Local)
+	rs.pool = sched.NewPool(opt.Threads)
+	ok := false
+	defer func() {
+		if !ok {
+			rs.pool.Close()
+		}
+	}()
+	rs.hx = newHalo(c, opt.Topo, opt.CopyHalo, opt.CoalesceHalo, rs.pool)
+	if opt.Telemetry != nil {
+		rs.tel = telemetry.NewRecorder(c.Rank(), opt.Telemetry.TraceEvents)
+		c.SetTelemetry(rs.tel)
+		rs.pool.SetTelemetry(rs.tel)
+		rs.hx.tel = rs.tel
+	}
+	for ax := 0; ax < 3; ax++ {
+		rs.nbrMask[ax][0] = opt.Topo.Neighbor(c.Rank(), ax, -1) >= 0
+		rs.nbrMask[ax][1] = opt.Topo.Neighbor(c.Rank(), ax, +1) >= 0
+	}
+
+	// Global stable dt.
+	dt := opt.Dt
+	if dt <= 0 {
+		dt = c.Allreduce([]float64{rs.med.StableDt(0.5)}, mpi.Min)[0]
+	}
+
+	// Boundary conditions on the physical faces this rank owns.
+	faces := ownedFaces(dc, c.Rank(), opt)
+	rs.compBox = fd.FullBox(rs.sub.Local)
+	switch opt.ABC {
+	case MPMLABC:
+		vpMax := c.Allreduce([]float64{rs.med.MaxVp}, mpi.Max)[0]
+		rs.zones, rs.compBox = boundary.BuildPML(rs.sub.Local, faces, opt.PMLWidth,
+			boundary.DefaultMPMLRatio, boundary.DefaultPMLReflection, vpMax, opt.H)
+	case SpongeABC:
+		globalFaces := boundary.FaceSet{
+			XLo: true, XHi: true, YLo: true, YHi: true,
+			ZLo: !opt.FreeSurface, ZHi: true,
+		}
+		rs.sponge = boundary.NewSpongeGlobal(rs.sub.Local, opt.Global,
+			[3]int{rs.sub.OffX, rs.sub.OffY, rs.sub.OffZ},
+			opt.SpongeWidth, opt.SpongeAlpha, globalFaces)
+	}
+	if opt.FreeSurface && rs.sub.OffZ == 0 {
+		rs.fs = boundary.NewFreeSurface(rs.sub.Local)
+	}
+	if opt.Attenuation {
+		rs.atten = attenuation.New(rs.med, opt.Band, dt)
+		rs.atten.Origin = [3]int{rs.sub.OffX, rs.sub.OffY, rs.sub.OffZ}
+	}
+	rs.srcs = source.Localize(opt.Sources, rs.sub, opt.H)
+
+	if opt.Fault != nil {
+		if err := rs.setupFault(opt, dt); err != nil {
+			return nil, err
+		}
+	}
+
+	// Receiver series are preallocated and sample-indexed so a replayed
+	// step overwrites its own sample instead of appending a duplicate.
+	nSamples := (opt.Steps + opt.RecordEvery - 1) / opt.RecordEvery
+	for idx, r := range opt.Receivers {
+		if li, lj, lk, ok := rs.sub.Contains(r[0], r[1], r[2]); ok {
+			rs.receivers = append(rs.receivers, ownedReceiver{
+				idx: idx, li: li, lj: lj, lk: lk,
+				series: make([][3]float32, nSamples),
+			})
+		}
+	}
+	if opt.TrackPGV && rs.sub.OffZ == 0 {
+		n := rs.sub.Local.NX * rs.sub.Local.NY
+		rs.pgvh = make([]float64, n)
+		rs.pgvx = make([]float64, n)
+		rs.pgvy = make([]float64, n)
+		rs.pgvz = make([]float64, n)
+	}
+	rs.pgvFolded = opt.Variant == fd.Fused && rs.sponge != nil && rs.pgvh != nil
+
+	s := &Stepper{rs: rs, opt: opt, dc: dc, c: c, dt: dt}
+	if opt.Fault != nil {
+		s.momentRate = make([]float64, opt.Steps)
+	}
+	ok = true
+	return s, nil
+}
+
+// Dt returns the resolved global time step.
+func (s *Stepper) Dt() float64 { return s.dt }
+
+// StepIndex returns the index of the next step to execute.
+func (s *Stepper) StepIndex() int { return s.step }
+
+// SetStepIndex rewinds (or advances) the step cursor — the rollback half
+// of coordinated recovery, paired with a checkpoint.Load into State().
+func (s *Stepper) SetStepIndex(n int) { s.step = n }
+
+// Done reports whether every configured step has executed.
+func (s *Stepper) Done() bool { return s.step >= s.opt.Steps }
+
+// State exposes the rank's wavefield state for checkpoint save/restore.
+func (s *Stepper) State() *fd.State { return s.rs.st }
+
+// Atten exposes the rank's attenuation memory variables (nil when
+// attenuation is off) for checkpoint save/restore.
+func (s *Stepper) Atten() *attenuation.Model { return s.rs.atten }
+
+// Recorder exposes the rank's telemetry recorder (nil when telemetry is
+// disabled) so harnesses can attribute checkpoint and recovery spans.
+func (s *Stepper) Recorder() *telemetry.Recorder { return s.rs.tel }
+
+// Step executes one full time step: kernels, halo exchange, sources,
+// boundaries, and index-addressed observable extraction.
+func (s *Stepper) Step() {
+	step := s.step
+	tNow := float64(step+1) * s.dt
+	s.rs.advance(s.opt, s.dt, tNow, &s.tm)
+
+	if s.rs.fault != nil {
+		s.momentRate[step] = s.rs.fault.MomentRate(s.rs.med)
+		if s.rs.recorder != nil && step%s.opt.Fault.RecordEvery == 0 {
+			s.rs.recorder.Record()
+		}
+	}
+
+	t0 := time.Now()
+	sp := s.rs.tel.Span(telemetry.Output)
+	if step%s.opt.RecordEvery == 0 {
+		si := step / s.opt.RecordEvery
+		for i := range s.rs.receivers {
+			r := &s.rs.receivers[i]
+			r.series[si] = [3]float32{
+				s.rs.st.VX.At(r.li, r.lj, r.lk),
+				s.rs.st.VY.At(r.li, r.lj, r.lk),
+				s.rs.st.VZ.At(r.li, r.lj, r.lk),
+			}
+		}
+	}
+	s.rs.trackPGV()
+	sp.End()
+	s.tm.Output += time.Since(t0).Seconds()
+	s.rs.tel.StepEnd()
+	s.step = step + 1
+}
+
+// Finish gathers all per-rank outputs at rank 0 (collective: every rank
+// must call it) and returns the rank-0 Result (nil on other ranks).
+func (s *Stepper) Finish() (*Result, error) {
+	return s.rs.collect(s.c, s.dc, s.opt, s.dt, s.momentRate, s.tm)
+}
+
+// Close releases the rank's worker pool.
+func (s *Stepper) Close() { s.rs.pool.Close() }

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/checkpoint"
 	"repro/internal/core/attenuation"
@@ -29,22 +31,28 @@ type FailureInjector func(step int) bool
 // NoFailures never fails.
 func NoFailures(int) bool { return false }
 
-// RandomFailures fails each step with probability p (deterministic seed).
+// RandomFailures fails each step with probability p (deterministic
+// seed). The injector is goroutine-safe: the multi-rank harness may call
+// one shared injector from every rank, and the underlying rand.Rand is
+// not safe for concurrent use without the lock.
 func RandomFailures(p float64, seed int64) FailureInjector {
+	var mu sync.Mutex
 	rng := rand.New(rand.NewSource(seed))
-	return func(int) bool { return rng.Float64() < p }
+	return func(int) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return rng.Float64() < p
+	}
 }
 
 // FailAt fails exactly once at the given step (it does not re-fire when
-// the harness replays the step after recovery).
+// the harness replays the step after recovery). Goroutine-safe: exactly
+// one caller observes the failure even if several ranks probe the same
+// step concurrently.
 func FailAt(step int) FailureInjector {
-	fired := false
+	var fired atomic.Bool
 	return func(s int) bool {
-		if !fired && s == step {
-			fired = true
-			return true
-		}
-		return false
+		return s == step && fired.CompareAndSwap(false, true)
 	}
 }
 
@@ -74,7 +82,9 @@ func (h *Harness) Run(s *fd.State, atten *attenuation.Model, m *medium.Medium,
 		return fmt.Errorf("ft: CheckpointEvery must be positive")
 	}
 	// Seed checkpoint at step 0: recovery is always possible.
-	checkpoint.Save(h.FS, h.Dir, h.Rank, 0, s, atten)
+	if _, err := checkpoint.Save(h.FS, h.Dir, h.Rank, 0, s, atten); err != nil {
+		return fmt.Errorf("ft: seed checkpoint: %w", err)
+	}
 	h.Checkpoints++
 	last := 0
 	n := 0
@@ -94,9 +104,12 @@ func (h *Harness) Run(s *fd.State, atten *attenuation.Model, m *medium.Medium,
 		h.StepsExecuted++
 		n++
 		if n%h.CheckpointEvery == 0 && n < nsteps {
-			checkpoint.Save(h.FS, h.Dir, h.Rank, n, s, atten)
-			h.Checkpoints++
-			last = n
+			if _, err := checkpoint.Save(h.FS, h.Dir, h.Rank, n, s, atten); err == nil {
+				// A failed save is survivable: recovery just rolls back to
+				// the previous checkpoint instead.
+				h.Checkpoints++
+				last = n
+			}
 		}
 	}
 	return nil

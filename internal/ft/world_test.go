@@ -1,0 +1,287 @@
+package ft
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core/fd"
+	"repro/internal/core/solver"
+	"repro/internal/core/source"
+	"repro/internal/cvm"
+	"repro/internal/grid"
+	"repro/internal/mpi"
+	"repro/internal/pfs"
+)
+
+func worldSolverOptions(topo mpi.Cart, comm solver.CommModel) solver.Options {
+	g := grid.Dims{NX: 20, NY: 20, NZ: 14}
+	src := source.PointSource{
+		GI: 10, GJ: 10, GK: 7,
+		M0:     1e15,
+		Tensor: source.Explosion,
+		STF:    source.GaussianPulse(0.08, 0.02),
+	}
+	return solver.Options{
+		Global:      g,
+		H:           100,
+		Steps:       40,
+		Topo:        topo,
+		Comm:        comm,
+		Variant:     fd.Precomp,
+		ABC:         solver.SpongeABC,
+		SpongeWidth: 4,
+		FreeSurface: true,
+		Attenuation: true,
+		Sources:     []source.SampledSource{src.Sample(0.002, 200)},
+		Receivers:   [][3]int{{5, 10, 7}, {15, 10, 7}, {10, 5, 7}, {10, 10, 2}},
+		TrackPGV:    true,
+	}
+}
+
+func worldQuerier() cvm.Querier { return cvm.SoCal(2000, 2000, 1400, 400) }
+
+// assertBitIdentical requires got's observables to match ref exactly —
+// not approximately: the headline property of coordinated recovery is
+// that replay reproduces the failure-free computation bit for bit.
+func assertBitIdentical(t *testing.T, ref, got *solver.Result) {
+	t.Helper()
+	if got == nil {
+		t.Fatal("nil recovered result")
+	}
+	if len(got.Seismograms) != len(ref.Seismograms) {
+		t.Fatalf("seismogram count %d, want %d", len(got.Seismograms), len(ref.Seismograms))
+	}
+	for r := range ref.Seismograms {
+		if len(got.Seismograms[r]) != len(ref.Seismograms[r]) {
+			t.Fatalf("receiver %d: %d samples, want %d",
+				r, len(got.Seismograms[r]), len(ref.Seismograms[r]))
+		}
+		for n, v := range ref.Seismograms[r] {
+			if got.Seismograms[r][n] != v {
+				t.Fatalf("receiver %d sample %d: %v, want %v (not bit-identical)",
+					r, n, got.Seismograms[r][n], v)
+			}
+		}
+	}
+	for name, pair := range map[string][2][]float64{
+		"PGVH": {ref.PGVH, got.PGVH},
+		"PGVX": {ref.PGVX, got.PGVX},
+		"PGVY": {ref.PGVY, got.PGVY},
+		"PGVZ": {ref.PGVZ, got.PGVZ},
+	} {
+		if len(pair[1]) != len(pair[0]) {
+			t.Fatalf("%s length %d, want %d", name, len(pair[1]), len(pair[0]))
+		}
+		for i, v := range pair[0] {
+			if pair[1][i] != v {
+				t.Fatalf("%s[%d] = %g, want %g (not bit-identical)", name, i, pair[1][i], v)
+			}
+		}
+	}
+}
+
+// A fault-free RunWorld is just the solver plus checkpoints: identical
+// result, zero recoveries, one checkpoint per rank per interval.
+func TestWorldCleanMatchesSolverRun(t *testing.T) {
+	q := worldQuerier()
+	opt := worldSolverOptions(mpi.NewCart(2, 1, 1), solver.Asynchronous)
+	ref, err := solver.Run(q, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, stats, err := RunWorld(WorldOptions{
+		Solver: opt, Query: q, FS: testFS(), Dir: "ckpt", Interval: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Recoveries != 0 || stats.Rebuilds != 0 {
+		t.Fatalf("clean run recovered: %+v", stats)
+	}
+	// Saves at steps 0, 8, 16, 24, 32 on each of 2 ranks.
+	if stats.Checkpoints != 10 {
+		t.Fatalf("checkpoints = %d, want 10", stats.Checkpoints)
+	}
+	assertBitIdentical(t, ref, res)
+}
+
+// The acceptance soak matrix: every fault class recovers to the exact
+// failure-free observables under every comm model tested.
+func TestChaosSoakMatrix(t *testing.T) {
+	q := worldQuerier()
+	topo := mpi.NewCart(2, 1, 1)
+
+	classes := []struct {
+		name         string
+		chaos        *mpi.ChaosPlan
+		faults       *pfs.FaultPlan
+		wantRecovery bool
+	}{
+		// Whole-rank crash mid-run: peers unwind on the abort, the world
+		// rolls back to the last coordinated checkpoint and replays.
+		{"rank-crash",
+			&mpi.ChaosPlan{Seed: 11, CrashAtSend: map[int]uint64{1: 37}},
+			nil, true},
+		// Message drop, corruption, and delay: healed transparently by
+		// sender retry and receiver checksum rejection — no rollback, but
+		// the transport must not perturb a single bit of physics.
+		{"message-faults",
+			&mpi.ChaosPlan{Seed: 23, DropProb: 0.03, CorruptProb: 0.03, DelayProb: 0.05},
+			nil, false},
+		// Rank crash while checkpoint files are silently torn: recovery
+		// must elect a step whose files verify on every rank.
+		{"torn-checkpoint",
+			&mpi.ChaosPlan{Seed: 7, CrashAtSend: map[int]uint64{0: 61}},
+			&pfs.FaultPlan{Seed: 5, TornWriteProb: 0.25}, true},
+	}
+	models := []solver.CommModel{solver.Asynchronous, solver.AsyncReduced}
+
+	for _, model := range models {
+		opt := worldSolverOptions(topo, model)
+		ref, err := solver.Run(q, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tc := range classes {
+			t.Run(fmt.Sprintf("%s/%v", tc.name, model), func(t *testing.T) {
+				res, stats, err := RunWorld(WorldOptions{
+					Solver: opt, Query: q, FS: testFS(), Dir: "ckpt", Interval: 8,
+					Chaos: tc.chaos, PFSFaults: tc.faults,
+				})
+				if err != nil {
+					t.Fatalf("RunWorld: %v (stats %+v)", err, stats)
+				}
+				if tc.wantRecovery && stats.Recoveries == 0 {
+					t.Fatalf("no recovery happened; fault class vacuous (stats %+v)", stats)
+				}
+				if tc.chaos.DropProb > 0 && (stats.Chaos.Dropped == 0 || stats.Chaos.Retries == 0) {
+					t.Fatalf("drop class injected nothing: %+v", stats.Chaos)
+				}
+				if tc.chaos.CorruptProb > 0 && stats.Chaos.ChecksumRejects == 0 {
+					t.Fatalf("corruption never rejected by checksum: %+v", stats.Chaos)
+				}
+				if tc.faults != nil && stats.Faults.TornWrites == 0 {
+					t.Fatalf("torn-write class tore nothing: %+v", stats.Faults)
+				}
+				assertBitIdentical(t, ref, res)
+			})
+		}
+	}
+}
+
+// A crash during rank setup (before the Stepper exists) cannot roll
+// back — NewStepper's collectives need every rank — so the leader must
+// rebuild the world from scratch, and replay still lands bit-identical.
+func TestCrashDuringSetupRebuilds(t *testing.T) {
+	q := worldQuerier()
+	opt := worldSolverOptions(mpi.NewCart(2, 1, 1), solver.Asynchronous)
+	ref, err := solver.Run(q, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, stats, err := RunWorld(WorldOptions{
+		Solver: opt, Query: q, FS: testFS(), Dir: "ckpt", Interval: 8,
+		Chaos: &mpi.ChaosPlan{Seed: 3, CrashAtSend: map[int]uint64{1: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rebuilds == 0 {
+		t.Fatalf("setup crash should force a rebuild (stats %+v)", stats)
+	}
+	assertBitIdentical(t, ref, res)
+}
+
+// The acceptance scenario for FindLatestValid at world scope: the
+// newest coordinated checkpoint is damaged — truncated on one rank,
+// bit-flipped on the other — so recovery must elect the PREVIOUS
+// coordinated step and replay from there.
+func TestDamagedNewestCheckpointRollsBackWorld(t *testing.T) {
+	q := worldQuerier()
+	topo := mpi.NewCart(2, 1, 1)
+	opt := worldSolverOptions(topo, solver.Asynchronous)
+	ref, err := solver.Run(q, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: clean run (chaos armed but inert so it counts sends)
+	// leaves coordinated checkpoints at steps 0..32 on the shared FS.
+	fsys := testFS()
+	_, pilot, err := RunWorld(WorldOptions{
+		Solver: opt, Query: q, FS: fsys, Dir: "ckpt", Interval: 8,
+		Chaos: &mpi.ChaosPlan{Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Damage the newest step (32): truncate rank 0's file, flip a
+	// payload bit in rank 1's. The election must skip to 24.
+	p0 := checkpoint.FileName("ckpt", 0, 32)
+	raw := make([]byte, fsys.Size(p0))
+	if err := fsys.ReadAt(p0, 0, raw); err != nil {
+		t.Fatal(err)
+	}
+	fsys.Remove(p0)
+	if err := fsys.WriteAt(p0, 0, raw[:len(raw)/2]); err != nil {
+		t.Fatal(err)
+	}
+	p1 := checkpoint.FileName("ckpt", 1, 32)
+	flip := make([]byte, fsys.Size(p1))
+	if err := fsys.ReadAt(p1, 0, flip); err != nil {
+		t.Fatal(err)
+	}
+	flip[60] ^= 0x20
+	if err := fsys.WriteAt(p1, 0, flip); err != nil {
+		t.Fatal(err)
+	}
+	if got := checkpoint.FindLatestValid(fsys, "ckpt", topo.Size()); got != 24 {
+		t.Fatalf("FindLatestValid = %d after damage, want 24", got)
+	}
+
+	// Phase 2 on the same FS: crash rank 1 about 68%% through its send
+	// budget — between the step-24 re-save and step 32, so the damaged
+	// files are still the newest on disk when the leader elects.
+	crashAt := uint64(float64(pilot.Chaos.Delivered) / 2 * 0.68)
+	res, stats, err := RunWorld(WorldOptions{
+		Solver: opt, Query: q, FS: fsys, Dir: "ckpt", Interval: 8,
+		Chaos: &mpi.ChaosPlan{Seed: 9, CrashAtSend: map[int]uint64{1: crashAt}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Recoveries != 1 || stats.Rebuilds != 0 {
+		t.Fatalf("want exactly one rollback recovery, got %+v", stats)
+	}
+	if len(stats.RestartSteps) != 1 || stats.RestartSteps[0] != 24 {
+		t.Fatalf("elected restart steps %v, want [24] (crashAt=%d)", stats.RestartSteps, crashAt)
+	}
+	assertBitIdentical(t, ref, res)
+}
+
+// When the transport is broken beyond the retry budget on every
+// attempt, the coordinated protocol must give up — on all ranks, so no
+// goroutine is left parked — with ErrRecoveryBudget.
+func TestRecoveryBudgetExhausted(t *testing.T) {
+	q := worldQuerier()
+	opt := worldSolverOptions(mpi.NewCart(2, 1, 1), solver.Asynchronous)
+	_, stats, err := RunWorld(WorldOptions{
+		Solver: opt, Query: q, FS: testFS(), Dir: "ckpt", Interval: 8,
+		MaxRecoveries: 3,
+		Chaos: &mpi.ChaosPlan{
+			Seed: 17, DropProb: 1, MaxRetries: 2, MaxConsecutiveFaults: 1 << 20,
+		},
+	})
+	if !errors.Is(err, ErrRecoveryBudget) {
+		t.Fatalf("err = %v, want ErrRecoveryBudget", err)
+	}
+	if stats.Recoveries != 4 {
+		t.Fatalf("recoveries = %d, want MaxRecoveries+1 = 4", stats.Recoveries)
+	}
+	if stats.Chaos.Dropped == 0 || stats.Chaos.Retries == 0 {
+		t.Fatalf("exhaustion without drops/retries is vacuous: %+v", stats.Chaos)
+	}
+}

@@ -232,7 +232,7 @@ func OnDemand(fsys *pfs.FS, meshPath string, global grid.Dims, dc decomp.Decomp,
 		}
 		buf := make([]float32, 6+(j1-j0+1)*(i1-i0+1)*3+16)
 		for e := 0; e < expected; e++ {
-			st := c.Recv(buf, mpi.AnySource, mpi.AnyTag)
+			st := c.MustRecv(buf, mpi.AnySource, mpi.AnyTag)
 			v := buf[:st.Count]
 			k := int(v[0])
 			p := plane{j0: int(v[1]), j1: int(v[2]), i0: int(v[3]), i1: int(v[4])}

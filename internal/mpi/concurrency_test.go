@@ -93,14 +93,14 @@ func TestConcurrentTaggedReceives(t *testing.T) {
 						// Alternate the copying and zero-copy receive
 						// paths; both must preserve FIFO order.
 						if round%2 == 0 {
-							st := c.Recv(buf, 0, tag)
+							st := c.MustRecv(buf, 0, tag)
 							if st.Count != 3 {
 								t.Errorf("tag %d: count %d", tag, st.Count)
 								return
 							}
 							got = buf
 						} else {
-							taken, st := c.RecvTake(0, tag)
+							taken, st := c.MustRecvTake(0, tag)
 							if st.Count != 3 {
 								t.Errorf("tag %d: count %d", tag, st.Count)
 								return

@@ -14,13 +14,20 @@
 package mpi
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/telemetry"
 )
+
+// ErrWorldAborted is the cause of operations attempted on an aborted
+// world (a rank panicked, or Abort was called). Must-style operations
+// panic with it; error-returning operations wrap it.
+var ErrWorldAborted = errors.New("mpi: operation on aborted world")
 
 // AnySource matches a message from any source rank in Recv/Irecv.
 const AnySource = -1
@@ -34,6 +41,7 @@ type message struct {
 	data     []float32
 	seq      uint64 // per-destination arrival sequence, for FIFO matching
 	sent     int64  // telemetry.Now() at submission; 0 when telemetry is off
+	sum      uint64 // per-message checksum; 0 on chaos-free worlds (unchecked)
 }
 
 // inbox holds undelivered messages and pending receivers for one rank.
@@ -63,6 +71,8 @@ func newInbox() *inbox {
 type World struct {
 	size    int
 	inboxes []*inbox
+	chaos   *chaosEngine // nil: fault-free transport
+	aborted atomic.Bool
 
 	// Message-traffic counters (point-to-point only, collectives
 	// included): the measured side of the perfmodel's per-message
@@ -106,44 +116,120 @@ func (w *World) ResetMessageStats() {
 	w.sentFloats.Store(0)
 }
 
+// RankError is one rank's failure inside RunErr: either the error the
+// rank body returned, or its recovered panic value (Panicked true). The
+// wrapped error survives errors.Is/As, so injected *CrashError values
+// remain inspectable at the caller.
+type RankError struct {
+	Rank     int
+	Err      error
+	Panicked bool
+}
+
+func (e *RankError) Error() string {
+	if e.Panicked {
+		return fmt.Sprintf("mpi: rank %d panicked: %v", e.Rank, e.Err)
+	}
+	return fmt.Sprintf("mpi: rank %d: %v", e.Rank, e.Err)
+}
+
+func (e *RankError) Unwrap() error { return e.Err }
+
+// WorldError aggregates the per-rank failures of one RunErr execution.
+type WorldError struct {
+	Errs []*RankError // ordered by rank
+}
+
+func (e *WorldError) Error() string {
+	if len(e.Errs) == 1 {
+		return e.Errs[0].Error()
+	}
+	return fmt.Sprintf("%v (and %d more ranks failed)", e.Errs[0], len(e.Errs)-1)
+}
+
+// Unwrap exposes the per-rank errors to errors.Is/As.
+func (e *WorldError) Unwrap() []error {
+	out := make([]error, len(e.Errs))
+	for i, re := range e.Errs {
+		out[i] = re
+	}
+	return out
+}
+
 // Run executes body concurrently on every rank and blocks until all ranks
 // return. If any rank panics, Run re-panics with the first panic value
 // after the others finish or deadlock is broken by closing inboxes.
 func (w *World) Run(body func(c *Comm)) {
+	err := w.RunErr(func(c *Comm) error {
+		body(c)
+		return nil
+	})
+	var we *WorldError
+	if errors.As(err, &we) {
+		panic(we.Errs[0].Error())
+	}
+}
+
+// RunErr executes body concurrently on every rank and blocks until all
+// ranks return, converting rank panics (including injected chaos
+// crashes) into errors at this boundary instead of taking the whole
+// process down. It returns nil when every rank returned nil, or a
+// *WorldError listing each failed rank. A panicking rank aborts the
+// world so blocked peers fail fast instead of deadlocking; the caller
+// may Reset the world and run again (the recovery harness in
+// internal/ft does exactly that).
+func (w *World) RunErr(body func(c *Comm) error) error {
 	var wg sync.WaitGroup
-	panics := make([]any, w.size)
-	var panicked bool
-	var mu sync.Mutex
+	errs := make([]error, w.size)
+	panicked := make([]bool, w.size)
 	wg.Add(w.size)
 	for r := 0; r < w.size; r++ {
 		go func(rank int) {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
-					mu.Lock()
-					panics[rank] = p
-					panicked = true
-					mu.Unlock()
+					errs[rank] = panicToError(p)
+					panicked[rank] = true
 					// Wake everything so blocked ranks can fail fast
 					// instead of deadlocking.
-					w.abort()
+					w.Abort()
 				}
 			}()
-			body(&Comm{world: w, rank: rank})
+			errs[rank] = body(&Comm{world: w, rank: rank})
 		}(r)
 	}
 	wg.Wait()
-	for r, p := range panics {
-		if p != nil {
-			panic(fmt.Sprintf("mpi: rank %d panicked: %v", r, p))
+	var we *WorldError
+	for r, e := range errs {
+		if e != nil {
+			if we == nil {
+				we = &WorldError{}
+			}
+			we.Errs = append(we.Errs, &RankError{Rank: r, Err: e, Panicked: panicked[r]})
 		}
 	}
-	_ = panicked
+	if we == nil {
+		return nil
+	}
+	return we
 }
 
-// abort closes all inboxes and releases barrier waiters, so that a panic in
-// one rank does not deadlock the rest.
-func (w *World) abort() {
+// panicToError converts a recovered panic value into an error, keeping
+// error values (e.g. *CrashError, ErrWorldAborted) unwrappable.
+func panicToError(p any) error {
+	if err, ok := p.(error); ok {
+		return err
+	}
+	return fmt.Errorf("%v", p)
+}
+
+// Abort closes all inboxes and releases barrier waiters, so that a
+// failed rank does not deadlock the rest: every subsequent or blocked
+// Send/Recv/Barrier on the world panics with ErrWorldAborted (converted
+// to an error at the RunErr boundary). The world stays aborted until
+// Reset.
+func (w *World) Abort() {
+	w.aborted.Store(true)
 	for _, b := range w.inboxes {
 		b.mu.Lock()
 		b.closed = true
@@ -155,6 +241,29 @@ func (w *World) abort() {
 	w.barrierCnt = 0
 	w.barrierCond.Broadcast()
 	w.barrierMu.Unlock()
+}
+
+// Reset rearms an aborted world for another Run: all queued messages are
+// discarded, inboxes reopen, and the barrier state clears. The caller
+// must guarantee no rank is inside an mpi operation during Reset (the
+// ft recovery coordinator resets only after every rank has quiesced).
+// Chaos state is preserved: already-fired scheduled crashes stay fired
+// and the per-rank decision streams continue, so a replay does not
+// re-suffer identical faults forever.
+func (w *World) Reset() {
+	for _, b := range w.inboxes {
+		b.mu.Lock()
+		clear(b.queue)
+		b.queue = b.queue[:0]
+		b.head = 0
+		b.closed = false
+		b.mu.Unlock()
+	}
+	w.barrierMu.Lock()
+	w.barrierGen++
+	w.barrierCnt = 0
+	w.barrierMu.Unlock()
+	w.aborted.Store(false)
 }
 
 // Comm is one rank's endpoint into the world.
@@ -194,10 +303,62 @@ func (c *Comm) SendOwned(dst, tag int, data []float32) {
 }
 
 // deliver enqueues data (already owned by the runtime) at dst's inbox.
+// On a chaos-armed world it runs the reliable-transport simulation:
+// checksum stamping, seeded drop/corrupt/delay decisions, sender-side
+// retransmission with exponential backoff, and scheduled rank crashes.
 func (c *Comm) deliver(dst, tag int, data []float32) {
 	if dst < 0 || dst >= c.world.size {
 		panic(fmt.Sprintf("mpi: Send to invalid rank %d (size %d)", dst, c.world.size))
 	}
+	ch := c.world.chaos
+	if ch == nil {
+		c.enqueue(dst, tag, data, 0)
+		return
+	}
+	op, crash := ch.beginSend(c.rank)
+	if crash {
+		ch.crashes.Add(1)
+		panic(&CrashError{Rank: c.rank, SendOp: op})
+	}
+	sum := checksum(data)
+	backoff := ch.plan.RetryBackoff
+	consec := 0
+	for attempt := 0; ; attempt++ {
+		f, delay := ch.draw(c.rank, consec, len(data))
+		switch f {
+		case fateDrop:
+			// Lost on the wire: the sender times out and retransmits
+			// after backoff.
+			ch.dropped.Add(1)
+		case fateCorrupt:
+			// Bit flip on the wire: the corrupted copy is enqueued with
+			// the original checksum, the receiver detects the mismatch
+			// and discards it, and the sender retransmits.
+			ch.corrupted.Add(1)
+			c.enqueue(dst, tag, ch.corruptCopy(c.rank, data), sum)
+		case fateDelay:
+			ch.delayed.Add(1)
+			time.Sleep(delay)
+			fallthrough
+		default:
+			ch.delivered.Add(1)
+			c.enqueue(dst, tag, data, sum)
+			return
+		}
+		if attempt >= ch.plan.MaxRetries {
+			panic(&RetryExhaustedError{Rank: c.rank, Dst: dst, Tag: tag, Attempts: attempt + 1})
+		}
+		consec++
+		ch.retries.Add(1)
+		time.Sleep(backoff)
+		if backoff < time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// enqueue appends one wire payload to dst's inbox.
+func (c *Comm) enqueue(dst, tag int, data []float32, sum uint64) {
 	var sent int64
 	if c.tel != nil {
 		sent = telemetry.Now()
@@ -207,7 +368,7 @@ func (c *Comm) deliver(dst, tag int, data []float32) {
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
-		panic("mpi: send on aborted world")
+		panic(fmt.Errorf("mpi: send: %w", ErrWorldAborted))
 	}
 	// Reclaim the dead prefix before growing the queue, so steady-state
 	// pipelining reuses capacity instead of appending forever.
@@ -218,7 +379,7 @@ func (c *Comm) deliver(dst, tag int, data []float32) {
 		b.head = 0
 	}
 	b.seq++
-	b.queue = append(b.queue, message{src: c.rank, tag: tag, data: data, seq: b.seq, sent: sent})
+	b.queue = append(b.queue, message{src: c.rank, tag: tag, data: data, seq: b.seq, sent: sent, sum: sum})
 	b.cond.Broadcast()
 	b.mu.Unlock()
 	c.world.sentMsgs.Add(1)
@@ -232,26 +393,65 @@ type Status struct {
 	Count  int
 }
 
-// Recv blocks until a message matching (src, tag) is available, copies its
-// payload into buf, and returns the receive status. src may be AnySource
-// and tag may be AnyTag. It panics if the message is longer than buf.
-func (c *Comm) Recv(buf []float32, src, tag int) Status {
-	m := c.takeMatch(src, tag)
+// Recv blocks until a message matching (src, tag) is available, copies
+// its payload into buf, and returns the receive status. src may be
+// AnySource and tag may be AnyTag. It returns an error — never panics —
+// when src is not a valid rank, when the message is longer than buf
+// (the message is consumed and lost, matching MPI_ERR_TRUNCATE), or
+// when the world is aborted mid-wait; a chaos-crashed peer therefore
+// surfaces as an error at this rank instead of taking the whole process
+// down. Hot paths that treat these as programming errors use MustRecv.
+func (c *Comm) Recv(buf []float32, src, tag int) (Status, error) {
+	if src != AnySource && (src < 0 || src >= c.world.size) {
+		return Status{}, fmt.Errorf("mpi: Recv from invalid rank %d (size %d)", src, c.world.size)
+	}
+	m, err := c.takeMatch(src, tag)
+	if err != nil {
+		return Status{}, err
+	}
 	c.noteRecv(m)
 	if len(m.data) > len(buf) {
-		panic(fmt.Sprintf("mpi: Recv overflow: message %d > buffer %d", len(m.data), len(buf)))
+		return Status{}, fmt.Errorf("mpi: Recv overflow: message %d > buffer %d", len(m.data), len(buf))
 	}
 	copy(buf, m.data)
-	return Status{Source: m.src, Tag: m.tag, Count: len(m.data)}
+	return Status{Source: m.src, Tag: m.tag, Count: len(m.data)}, nil
+}
+
+// MustRecv is Recv for call sites where a receive failure is a
+// programming error or is handled at the Run/RunErr boundary: it panics
+// on any Recv error (the runner converts the panic back into a per-rank
+// error instead of crashing the process).
+func (c *Comm) MustRecv(buf []float32, src, tag int) Status {
+	st, err := c.Recv(buf, src, tag)
+	if err != nil {
+		panic(err)
+	}
+	return st
 }
 
 // RecvTake blocks until a message matching (src, tag) is available and
 // returns its payload without copying — the receiver takes ownership of
-// the sender's lent buffer. Recycle it with PutBuffer when done.
-func (c *Comm) RecvTake(src, tag int) ([]float32, Status) {
-	m := c.takeMatch(src, tag)
+// the sender's lent buffer. Recycle it with PutBuffer when done. Errors
+// follow the Recv contract (minus overflow, which cannot occur).
+func (c *Comm) RecvTake(src, tag int) ([]float32, Status, error) {
+	if src != AnySource && (src < 0 || src >= c.world.size) {
+		return nil, Status{}, fmt.Errorf("mpi: RecvTake from invalid rank %d (size %d)", src, c.world.size)
+	}
+	m, err := c.takeMatch(src, tag)
+	if err != nil {
+		return nil, Status{}, err
+	}
 	c.noteRecv(m)
-	return m.data, Status{Source: m.src, Tag: m.tag, Count: len(m.data)}
+	return m.data, Status{Source: m.src, Tag: m.tag, Count: len(m.data)}, nil
+}
+
+// MustRecvTake is RecvTake with the MustRecv panic contract.
+func (c *Comm) MustRecvTake(src, tag int) ([]float32, Status) {
+	data, st, err := c.RecvTake(src, tag)
+	if err != nil {
+		panic(err)
+	}
+	return data, st
 }
 
 // noteRecv records a matched message on the telemetry recorder. Called
@@ -273,10 +473,16 @@ func (c *Comm) noteRecv(m message) {
 // the scan stops there. A head-of-queue match — the common case — pops
 // in O(1) by advancing the head cursor; an interior match (out-of-order
 // tag arrival) shifts only the messages ahead of it.
-func (c *Comm) takeMatch(src, tag int) message {
+//
+// On a chaos-armed world each matched payload is verified against its
+// per-message checksum first; a corrupted message is discarded and the
+// scan resumes, waiting for the sender's retransmission — the receiver
+// half of the reliable-transport simulation.
+func (c *Comm) takeMatch(src, tag int) (message, error) {
 	b := c.world.inboxes[c.rank]
 	b.mu.Lock()
 	defer b.mu.Unlock()
+rescan:
 	for {
 		for i := b.head; i < len(b.queue); i++ {
 			m := b.queue[i]
@@ -293,11 +499,15 @@ func (c *Comm) takeMatch(src, tag int) message {
 					b.queue[b.head] = message{}
 					b.head++
 				}
-				return m
+				if ch := c.world.chaos; ch != nil && m.sum != 0 && checksum(m.data) != m.sum {
+					ch.checksumRejects.Add(1)
+					continue rescan // discard; the retransmission follows
+				}
+				return m, nil
 			}
 		}
 		if b.closed {
-			panic("mpi: recv on aborted world")
+			return message{}, fmt.Errorf("mpi: recv: %w", ErrWorldAborted)
 		}
 		b.cond.Wait()
 	}
@@ -343,16 +553,18 @@ func (c *Comm) IrecvTake(src, tag int) *Request {
 	return &Request{isRecv: true, take: true, comm: c, src: src, tag: tag}
 }
 
-// Wait blocks until the request completes and returns its status.
+// Wait blocks until the request completes and returns its status. Like
+// MustRecv, it panics on receive errors (aborted world, overflow); the
+// Run/RunErr boundary converts the panic into a per-rank error.
 func (r *Request) Wait() Status {
 	if r.done {
 		return r.status
 	}
 	if r.isRecv {
 		if r.take {
-			r.buf, r.status = r.comm.RecvTake(r.src, r.tag)
+			r.buf, r.status = r.comm.MustRecvTake(r.src, r.tag)
 		} else {
-			r.status = r.comm.Recv(r.buf, r.src, r.tag)
+			r.status = r.comm.MustRecv(r.buf, r.src, r.tag)
 		}
 	}
 	r.done = true
@@ -377,7 +589,10 @@ func Waitall(reqs []*Request) {
 	}
 }
 
-// Barrier blocks until every rank in the world has entered it.
+// Barrier blocks until every rank in the world has entered it. On an
+// aborted world it panics with ErrWorldAborted (a released waiter must
+// not proceed as if the barrier completed), converted to an error at
+// the Run/RunErr boundary.
 func (c *Comm) Barrier() {
 	w := c.world
 	w.barrierMu.Lock()
@@ -394,6 +609,9 @@ func (c *Comm) Barrier() {
 		w.barrierCond.Wait()
 	}
 	w.barrierMu.Unlock()
+	if w.aborted.Load() {
+		panic(fmt.Errorf("mpi: barrier: %w", ErrWorldAborted))
+	}
 }
 
 // Reserved internal tag space for collectives; user tags must be >= 0, so
@@ -416,7 +634,7 @@ func (c *Comm) Bcast(buf []float32, root int) {
 		}
 		return
 	}
-	c.Recv(buf, root, tagBcast)
+	c.MustRecv(buf, root, tagBcast)
 }
 
 // Op is a reduction operator.
@@ -455,7 +673,7 @@ func (c *Comm) Reduce(vals []float64, op Op, root int) []float64 {
 		if r == root {
 			continue
 		}
-		c.Recv(tmp, r, tagReduce)
+		c.MustRecv(tmp, r, tagReduce)
 		unpackF64(tmp, other)
 		for i := range acc {
 			acc[i] = op(acc[i], other[i])
@@ -499,7 +717,10 @@ func (c *Comm) Gather(data []float32, root int) [][]float32 {
 }
 
 func (c *Comm) takeMatchFrom(src, tag int) message {
-	m := c.takeMatch(src, tag)
+	m, err := c.takeMatch(src, tag)
+	if err != nil {
+		panic(err)
+	}
 	c.noteRecv(m)
 	return m
 }

@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"sync/atomic"
@@ -32,7 +33,7 @@ func TestSendRecvBasic(t *testing.T) {
 			c.Send(1, 7, []float32{1, 2, 3})
 		} else {
 			buf := make([]float32, 3)
-			st := c.Recv(buf, 0, 7)
+			st := c.MustRecv(buf, 0, 7)
 			if st.Source != 0 || st.Tag != 7 || st.Count != 3 {
 				t.Errorf("status = %+v", st)
 			}
@@ -93,7 +94,7 @@ func TestTagMatchingOutOfOrder(t *testing.T) {
 		} else {
 			buf := make([]float32, 1)
 			for _, tag := range []int{3, 1, 2} {
-				st := c.Recv(buf, 0, tag)
+				st := c.MustRecv(buf, 0, tag)
 				if int(buf[0]) != tag || st.Tag != tag {
 					t.Errorf("tag %d: got %v", tag, buf[0])
 				}
@@ -110,7 +111,7 @@ func TestAnySourceAnyTag(t *testing.T) {
 			buf := make([]float32, 1)
 			sum := float32(0)
 			for i := 0; i < 2; i++ {
-				st := c.Recv(buf, AnySource, AnyTag)
+				st := c.MustRecv(buf, AnySource, AnyTag)
 				if st.Source != 1 && st.Source != 2 {
 					t.Errorf("unexpected source %d", st.Source)
 				}
@@ -127,7 +128,25 @@ func TestAnySourceAnyTag(t *testing.T) {
 	})
 }
 
-func TestRecvOverflowPanics(t *testing.T) {
+func TestRecvOverflowError(t *testing.T) {
+	w := NewWorld(2)
+	err := w.RunErr(func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 0, []float32{1, 2, 3})
+			return nil
+		}
+		buf := make([]float32, 1)
+		if _, err := c.Recv(buf, 0, 0); err == nil {
+			return errors.New("expected overflow error from Recv")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMustRecvOverflowPanicPropagates(t *testing.T) {
 	w := NewWorld(2)
 	defer func() {
 		if recover() == nil {
@@ -139,9 +158,23 @@ func TestRecvOverflowPanics(t *testing.T) {
 			c.Send(1, 0, []float32{1, 2, 3})
 		} else {
 			buf := make([]float32, 1)
-			c.Recv(buf, 0, 0)
+			c.MustRecv(buf, 0, 0)
 		}
 	})
+}
+
+func TestRecvInvalidRankError(t *testing.T) {
+	w := NewWorld(2)
+	err := w.RunErr(func(c *Comm) error {
+		buf := make([]float32, 1)
+		if _, err := c.Recv(buf, 7, 0); err == nil {
+			return errors.New("expected invalid-rank error from Recv")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestIsendIrecvWaitall(t *testing.T) {

@@ -14,7 +14,7 @@ func TestSendOwnedRecvTakeRoundTrip(t *testing.T) {
 			c.SendOwned(1, 9, buf)
 			// Ownership transferred: sender must not touch buf again.
 		} else {
-			got, st := c.RecvTake(0, 9)
+			got, st := c.MustRecvTake(0, 9)
 			if st.Source != 0 || st.Tag != 9 || st.Count != 3 {
 				t.Errorf("status = %+v", st)
 			}
@@ -37,7 +37,7 @@ func TestSendOwnedDoesNotCopy(t *testing.T) {
 		if c.Rank() == 0 {
 			c.SendOwned(1, 0, probe)
 		} else {
-			got, _ := c.RecvTake(0, 0)
+			got, _ := c.MustRecvTake(0, 0)
 			done <- got
 		}
 	})

@@ -50,16 +50,23 @@ func TotalLen(segs []Segment) int {
 }
 
 // WriteIndexed writes data through the view with explicit displacements.
-// An optional telemetry recorder (at most one) attributes the wall time to
-// the IO phase; existing call sites need no change.
+// Each segment write retries transient PFS faults with bounded
+// exponential backoff. An optional telemetry recorder (at most one)
+// attributes the wall time to the IO phase; existing call sites need no
+// change.
 func WriteIndexed(fsys *pfs.FS, path string, segs []Segment, data []byte, rec ...*telemetry.Recorder) error {
 	defer ioSpan(rec).End()
 	if len(data) != TotalLen(segs) {
 		return fmt.Errorf("mpiio: data %d bytes, view %d", len(data), TotalLen(segs))
 	}
+	retry := pfs.DefaultRetry()
 	p := 0
 	for _, s := range segs {
-		fsys.WriteAt(path, s.Off, data[p:p+s.Len])
+		seg := s
+		chunk := data[p : p+seg.Len]
+		if err := retry.Do(func() error { return fsys.WriteAt(path, seg.Off, chunk) }); err != nil {
+			return fmt.Errorf("mpiio: write %s seg [%d,%d): %w", path, seg.Off, seg.Off+seg.Len, err)
+		}
 		p += s.Len
 	}
 	return nil

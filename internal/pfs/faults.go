@@ -1,0 +1,172 @@
+// Transient I/O fault injection — the storage half of the distributed
+// chaos harness. A FaultPlan armed on an FS perturbs writes and metadata
+// operations with the failure modes week-long Lustre campaigns actually
+// see (§III.F motivation):
+//
+//   - failed write: the OST rejects the request; nothing is persisted and
+//     the caller gets a *TransientError (retryable);
+//   - short write: only a seeded prefix of the payload lands before the
+//     error — a retry that rewrites the full range heals it;
+//   - torn write: a seeded prefix lands and the call REPORTS SUCCESS —
+//     the silent-corruption case that only end-to-end verification
+//     (the checkpoint CRC64 trailer) can catch;
+//   - MDS timeout: file creation or rename times out at the metadata
+//     server with no side effect (retryable).
+//
+// Decisions come from one seeded rand.Rand guarded by the FS mutex, so a
+// given (plan, operation sequence) faults identically on every run.
+package pfs
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// FaultPlan configures deterministic transient-fault injection. The zero
+// value of each probability disables that fault class.
+type FaultPlan struct {
+	// Seed drives every decision; same seed + same op sequence = same
+	// faults.
+	Seed int64
+
+	// WriteFailProb is the per-write probability of a rejected write
+	// (nothing persisted, *TransientError returned).
+	WriteFailProb float64
+	// ShortWriteProb is the per-write probability that only a prefix is
+	// persisted before the error.
+	ShortWriteProb float64
+	// TornWriteProb is the per-write probability that only a prefix is
+	// persisted and the write still reports success.
+	TornWriteProb float64
+	// MDSTimeoutProb is the per-metadata-op (file create, rename)
+	// probability of a timeout with no side effect.
+	MDSTimeoutProb float64
+
+	// MaxConsecutive bounds back-to-back injected faults (default 2), so
+	// a bounded retry loop always converges.
+	MaxConsecutive int
+}
+
+// FaultStats counts injected faults since the plan was armed.
+type FaultStats struct {
+	FailedWrites uint64
+	ShortWrites  uint64
+	TornWrites   uint64
+	MDSTimeouts  uint64
+}
+
+// TransientError marks a retryable injected I/O failure. Use IsTransient
+// (or errors.As) to classify; RetryPolicy.Do retries exactly these.
+type TransientError struct {
+	Op   string // "write", "create", "rename"
+	Path string
+}
+
+func (e *TransientError) Error() string {
+	return fmt.Sprintf("pfs: transient %s fault on %s", e.Op, e.Path)
+}
+
+// IsTransient reports whether err wraps a *TransientError.
+func IsTransient(err error) bool {
+	var te *TransientError
+	return errors.As(err, &te)
+}
+
+// faultEngine is the per-FS injection state; fs.mu guards it.
+type faultEngine struct {
+	plan   FaultPlan
+	rng    *rand.Rand
+	consec int
+	stats  FaultStats
+}
+
+// writeFate is one write operation's injected outcome.
+type writeFate int
+
+const (
+	wfOK writeFate = iota
+	wfFail
+	wfShort
+	wfTorn
+)
+
+func newFaultEngine(plan FaultPlan) *faultEngine {
+	if plan.MaxConsecutive <= 0 {
+		plan.MaxConsecutive = 2
+	}
+	return &faultEngine{plan: plan, rng: rand.New(rand.NewSource(plan.Seed))}
+}
+
+// drawWrite decides one write's fate and, for partial outcomes, how many
+// of n bytes land. Caller holds fs.mu.
+func (e *faultEngine) drawWrite(n int) (writeFate, int) {
+	if e.consec >= e.plan.MaxConsecutive {
+		e.consec = 0
+		return wfOK, n
+	}
+	u := e.rng.Float64()
+	p := e.plan
+	switch {
+	case u < p.WriteFailProb:
+		e.consec++
+		e.stats.FailedWrites++
+		return wfFail, 0
+	case u < p.WriteFailProb+p.ShortWriteProb && n > 1:
+		e.consec++
+		e.stats.ShortWrites++
+		return wfShort, 1 + e.rng.Intn(n-1)
+	case u < p.WriteFailProb+p.ShortWriteProb+p.TornWriteProb && n > 1:
+		// Torn writes report success, so they never trip the retry loop
+		// and do not count toward the consecutive-fault bound.
+		e.stats.TornWrites++
+		return wfTorn, 1 + e.rng.Intn(n-1)
+	}
+	e.consec = 0
+	return wfOK, n
+}
+
+// drawMDS decides whether a metadata op times out. Caller holds fs.mu.
+// A disarmed class (prob 0) draws nothing, so it neither consumes
+// randomness nor breaks a consecutive-fault run of another class.
+func (e *faultEngine) drawMDS() bool {
+	if e.plan.MDSTimeoutProb <= 0 {
+		return false
+	}
+	if e.consec >= e.plan.MaxConsecutive {
+		e.consec = 0
+		return false
+	}
+	if e.rng.Float64() < e.plan.MDSTimeoutProb {
+		e.consec++
+		e.stats.MDSTimeouts++
+		return true
+	}
+	e.consec = 0
+	return false
+}
+
+// InjectFaults arms the file system with a transient-fault plan.
+func (fs *FS) InjectFaults(plan FaultPlan) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.faults = newFaultEngine(plan)
+}
+
+// ClearFaults disarms fault injection.
+func (fs *FS) ClearFaults() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.faults = nil
+}
+
+// FaultStats returns cumulative injected-fault counters (zero when no
+// plan is armed).
+func (fs *FS) FaultStats() FaultStats {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.faults == nil {
+		return FaultStats{}
+	}
+	return fs.faults.stats
+}

@@ -1,0 +1,268 @@
+package pfs
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFailedWriteLeavesNothing(t *testing.T) {
+	fs := New(Jaguar())
+	fs.InjectFaults(FaultPlan{Seed: 1, WriteFailProb: 1, MaxConsecutive: 1 << 30})
+	err := fs.WriteAt("f", 0, []byte{1, 2, 3})
+	if !IsTransient(err) {
+		t.Fatalf("err = %v, want transient", err)
+	}
+	if fs.Exists("f") {
+		t.Fatal("failed write must not create the file")
+	}
+	if st := fs.FaultStats(); st.FailedWrites != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestShortWritePersistsPrefixAndErrors(t *testing.T) {
+	fs := New(Jaguar())
+	fs.InjectFaults(FaultPlan{Seed: 5, ShortWriteProb: 1, MaxConsecutive: 1 << 30})
+	data := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	err := fs.WriteAt("f", 0, data)
+	if !IsTransient(err) {
+		t.Fatalf("err = %v, want transient", err)
+	}
+	n := fs.Size("f")
+	if n <= 0 || n >= len(data) {
+		t.Fatalf("short write persisted %d of %d bytes, want a strict prefix", n, len(data))
+	}
+	got := make([]byte, n)
+	if err := fs.ReadAt("f", 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data[:n]) {
+		t.Fatalf("prefix mismatch: %v vs %v", got, data[:n])
+	}
+}
+
+func TestTornWriteReportsSuccess(t *testing.T) {
+	fs := New(Jaguar())
+	fs.InjectFaults(FaultPlan{Seed: 9, TornWriteProb: 1, MaxConsecutive: 1 << 30})
+	data := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	if err := fs.WriteAt("f", 0, data); err != nil {
+		t.Fatalf("torn write must report success, got %v", err)
+	}
+	if n := fs.Size("f"); n >= len(data) {
+		t.Fatalf("torn write persisted all %d bytes", n)
+	}
+	if st := fs.FaultStats(); st.TornWrites != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestMDSTimeoutOnCreateAndRename(t *testing.T) {
+	fs := New(Jaguar())
+	if err := fs.WriteAt("existing", 0, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	fs.InjectFaults(FaultPlan{Seed: 2, MDSTimeoutProb: 1, MaxConsecutive: 1 << 30})
+	if err := fs.WriteAt("newfile", 0, []byte{1}); !IsTransient(err) {
+		t.Fatalf("create: err = %v, want transient MDS timeout", err)
+	}
+	if fs.Exists("newfile") {
+		t.Fatal("timed-out create must have no side effect")
+	}
+	if err := fs.Rename("existing", "moved"); !IsTransient(err) {
+		t.Fatalf("rename: err = %v, want transient MDS timeout", err)
+	}
+	if !fs.Exists("existing") || fs.Exists("moved") {
+		t.Fatal("timed-out rename must have no side effect")
+	}
+}
+
+func TestRenameCommitsAtomically(t *testing.T) {
+	fs := New(Jaguar())
+	if err := fs.WriteAt("dir/f.tmp", 0, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteAt("dir/f", 0, []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("dir/f.tmp", "dir/f"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("dir/f.tmp") {
+		t.Fatal("temp file survived rename")
+	}
+	got := make([]byte, 3)
+	if err := fs.ReadAt("dir/f", 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("content = %v after rename", got)
+	}
+	if err := fs.Rename("missing", "x"); err == nil || IsTransient(err) {
+		t.Fatalf("rename of missing file: err = %v, want permanent error", err)
+	}
+}
+
+func TestMaxConsecutiveBoundsFaultRuns(t *testing.T) {
+	fs := New(Jaguar())
+	fs.InjectFaults(FaultPlan{Seed: 3, WriteFailProb: 1, MaxConsecutive: 2})
+	fails := 0
+	for i := 0; i < 3; i++ {
+		if err := fs.WriteAt("f", 0, []byte{1, 2}); err != nil {
+			fails++
+		}
+	}
+	if fails != 2 {
+		t.Fatalf("got %d failures in 3 writes, want exactly 2 (bound forces 3rd clean)", fails)
+	}
+}
+
+func TestRetryHealsTransientFaults(t *testing.T) {
+	fs := New(Jaguar())
+	fs.InjectFaults(FaultPlan{Seed: 4, WriteFailProb: 0.6, ShortWriteProb: 0.3, MaxConsecutive: 2})
+	var slept []time.Duration
+	pol := RetryPolicy{MaxAttempts: 4, BaseDelay: time.Microsecond, Sleep: func(d time.Duration) { slept = append(slept, d) }}
+	data := []byte{10, 20, 30, 40}
+	for i := 0; i < 50; i++ {
+		if err := pol.Do(func() error { return fs.WriteAt("f", 0, data) }); err != nil {
+			t.Fatalf("write %d not healed by retry: %v", i, err)
+		}
+	}
+	got := make([]byte, len(data))
+	if err := fs.ReadAt("f", 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("content = %v, want %v", got, data)
+	}
+	if len(slept) == 0 {
+		t.Fatal("no retries happened at 90% fault probability")
+	}
+	if st := fs.FaultStats(); st.FailedWrites+st.ShortWrites == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRetryGivesUpBounded(t *testing.T) {
+	calls := 0
+	pol := RetryPolicy{MaxAttempts: 3, BaseDelay: time.Nanosecond, Sleep: func(time.Duration) {}}
+	err := pol.Do(func() error { calls++; return &TransientError{Op: "write", Path: "f"} })
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	if err == nil || !IsTransient(err) {
+		t.Fatalf("err = %v, want wrapped transient", err)
+	}
+}
+
+func TestRetryPassesThroughPermanentErrors(t *testing.T) {
+	perm := errors.New("disk on fire")
+	calls := 0
+	err := DefaultRetry().Do(func() error { calls++; return perm })
+	if calls != 1 || !errors.Is(err, perm) {
+		t.Fatalf("calls=%d err=%v, want immediate pass-through", calls, err)
+	}
+}
+
+func TestFaultsDeterministic(t *testing.T) {
+	run := func() FaultStats {
+		fs := New(Jaguar())
+		fs.InjectFaults(FaultPlan{Seed: 77, WriteFailProb: 0.3, ShortWriteProb: 0.2, TornWriteProb: 0.1, MDSTimeoutProb: 0.1})
+		for i := 0; i < 100; i++ {
+			fs.WriteAt("f", i, []byte{1, 2, 3, 4})
+		}
+		return fs.FaultStats()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed, different faults:\n a=%+v\n b=%+v", a, b)
+	}
+	if a.FailedWrites == 0 || a.ShortWrites == 0 || a.TornWrites == 0 {
+		t.Fatalf("expected all write fault classes to fire: %+v", a)
+	}
+}
+
+// TestConcurrentOpensUnderRace drives SimulatePhase and data-plane
+// writes from many goroutines at once — the MDS-degradation model must
+// be safe under concurrent opens (run with -race).
+func TestConcurrentOpensUnderRace(t *testing.T) {
+	fs := New(Config{OSTs: 8, OSTBandwidth: 1e6, MDSLatency: 1e-3, MDSConcurrent: 4})
+	fs.InjectFaults(FaultPlan{Seed: 8, WriteFailProb: 0.2, MDSTimeoutProb: 0.1})
+	const workers = 16
+	var wg sync.WaitGroup
+	elapsed := make([]float64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pol := RetryPolicy{MaxAttempts: 8, BaseDelay: time.Nanosecond, Sleep: func(time.Duration) {}}
+			for i := 0; i < 20; i++ {
+				path := "dir/file" + string(rune('a'+w))
+				if err := pol.Do(func() error { return fs.WriteAt(path, i*4, []byte{1, 2, 3, 4}) }); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				st := fs.SimulatePhase([]Op{{Path: path, Bytes: 4, Off: i * 4, Write: true, Open: true}})
+				elapsed[w] += st.Elapsed
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, e := range elapsed {
+		if e <= 0 {
+			t.Fatalf("worker %d accrued no virtual time", w)
+		}
+	}
+}
+
+// TestStripePrefixEdgeCases pins the longest-prefix-match resolution of
+// directory stripe settings, including nested prefixes, the empty (root)
+// prefix, and a prefix longer than the path.
+func TestStripePrefixEdgeCases(t *testing.T) {
+	fs := New(Config{OSTs: 64, OSTBandwidth: 1e6, MDSLatency: 1e-3, MDSConcurrent: 4})
+	fs.SetStripe("", 2, 1<<10)           // root default
+	fs.SetStripe("out/", 4, 1<<10)       // mid prefix
+	fs.SetStripe("out/ckpt/", 8, 1<<10)  // nested, longer prefix wins
+	fs.SetStripe("out/ckpt/deep/very/long/prefix/", 16, 1<<10)
+
+	cases := []struct {
+		path  string
+		count int
+	}{
+		{"misc", 2},                // only root matches
+		{"out/x", 4},               // mid prefix
+		{"out/ckpt/r0", 8},         // nested beats mid
+		{"out/ckptX", 4},           // "out/ckpt/" is NOT a prefix of this
+		{"out/", 4},                // path exactly equals the prefix
+		{"ou", 2},                  // prefix longer than path cannot match
+		{"out/ckpt/deep/very/long/prefix/f", 16},
+	}
+	for _, tc := range cases {
+		fs.WriteAt(tc.path, 0, []byte{1})
+		fs.mu.Lock()
+		got := fs.files[tc.path].stripeCount
+		fs.mu.Unlock()
+		if got != tc.count {
+			t.Errorf("%s: stripeCount = %d, want %d", tc.path, got, tc.count)
+		}
+	}
+}
+
+// TestStripeZeroAndOversizeCountClamps pins the "count <= 0 means all
+// OSTs" rule and the clamp of counts beyond the OST pool.
+func TestStripeZeroAndOversizeCountClamps(t *testing.T) {
+	fs := New(Config{OSTs: 16, OSTBandwidth: 1e6, MDSLatency: 1e-3, MDSConcurrent: 4})
+	fs.SetStripe("all/", 0, 0)
+	fs.SetStripe("big/", 999, 1<<20)
+	for _, path := range []string{"all/f", "big/f"} {
+		fs.WriteAt(path, 0, []byte{1})
+		fs.mu.Lock()
+		got := fs.files[path].stripeCount
+		fs.mu.Unlock()
+		if got != 16 {
+			t.Errorf("%s: stripeCount = %d, want clamp to 16 OSTs", path, got)
+		}
+	}
+}

@@ -39,6 +39,8 @@ type FS struct {
 	// Directory-level stripe settings (longest-prefix match), the
 	// `lfs setstripe` emulation.
 	dirStripes map[string][2]int
+	// faults, when non-nil, injects transient I/O failures (faults.go).
+	faults *faultEngine
 }
 
 type file struct {
@@ -112,10 +114,36 @@ func hashPath(p string) int {
 	return h
 }
 
-// WriteAt stores data at offset, growing the file as needed.
-func (fs *FS) WriteAt(path string, off int, data []byte) {
+// WriteAt stores data at offset, growing the file as needed. With a
+// FaultPlan armed it may fail transiently (nothing or only a prefix
+// persisted — retryable via RetryPolicy) or tear silently (prefix
+// persisted, nil returned — only end-to-end checksums catch that).
+// Without a plan it always succeeds.
+func (fs *FS) WriteAt(path string, off int, data []byte) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	if fe := fs.faults; fe != nil {
+		if fs.files[path] == nil && fe.drawMDS() {
+			return &TransientError{Op: "create", Path: path}
+		}
+		fate, n := fe.drawWrite(len(data))
+		switch fate {
+		case wfFail:
+			return &TransientError{Op: "write", Path: path}
+		case wfShort:
+			fs.writeLocked(path, off, data[:n])
+			return &TransientError{Op: "write", Path: path}
+		case wfTorn:
+			fs.writeLocked(path, off, data[:n])
+			return nil
+		}
+	}
+	fs.writeLocked(path, off, data)
+	return nil
+}
+
+// writeLocked persists data at offset; caller holds the lock.
+func (fs *FS) writeLocked(path string, off int, data []byte) {
 	f := fs.create(path)
 	if need := off + len(data); need > len(f.data) {
 		grown := make([]byte, need)
@@ -123,6 +151,26 @@ func (fs *FS) WriteAt(path string, off int, data []byte) {
 		f.data = grown
 	}
 	copy(f.data[off:], data)
+}
+
+// Rename atomically replaces newPath with oldPath's file — the metadata
+// operation behind the checkpoint writer's write-temp-then-rename
+// protocol. A reader never observes a half-written file at newPath: it
+// sees the old content (or nothing) until the rename commits. With a
+// FaultPlan armed, the MDS may time out with no side effect (retryable).
+func (fs *FS) Rename(oldPath, newPath string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f := fs.files[oldPath]
+	if f == nil {
+		return fmt.Errorf("pfs: rename %s: no such file", oldPath)
+	}
+	if fe := fs.faults; fe != nil && fe.drawMDS() {
+		return &TransientError{Op: "rename", Path: oldPath}
+	}
+	delete(fs.files, oldPath)
+	fs.files[newPath] = f
+	return nil
 }
 
 // ReadAt reads len(buf) bytes at offset; it returns an error if the range

@@ -60,6 +60,10 @@ const (
 	// Execute is the worker-pool interval between the first tile
 	// starting and the batch completing.
 	Execute
+	// Recovery is coordinated rollback time after an injected or real
+	// fault: electing the restart step, reloading the checkpoint, and
+	// resetting the runtime (internal/ft).
+	Recovery
 
 	numPhases
 )
@@ -70,7 +74,7 @@ const NumPhases = int(numPhases)
 var phaseNames = [NumPhases]string{
 	"velocity", "stress", "attenuation", "boundary", "pack", "send",
 	"recv", "unpack", "sync", "output", "io", "checkpoint",
-	"queue-wait", "execute",
+	"queue-wait", "execute", "recovery",
 }
 
 func (p Phase) String() string {
