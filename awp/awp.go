@@ -125,6 +125,13 @@ type Scenario struct {
 	// or the autotuned blocking when Variant is "auto").
 	JBlock, KBlock int
 
+	// TemporalDepth T > 1 enables time-tiled super-steps: T leapfrog steps
+	// per deep halo exchange (allowed values 1, 2, 4; 0 means 1, or the
+	// autotuned depth when Variant is "auto"). Results are bit-identical
+	// across depths. Forced back to 1 when a feature the tiled engine does
+	// not cover is active (M-PML, overlapped comm, dynamic rupture).
+	TemporalDepth int
+
 	// TunerCachePath overrides the autotuner profile location ("" uses the
 	// per-user default under os.UserCacheDir).
 	TunerCachePath string
@@ -153,48 +160,49 @@ func Run(q Model, sc Scenario) (*Result, error) {
 			topo = bestTopo(sc.Dims, sc.Ranks)
 		}
 	}
-	variant, blocking, err := resolveKernel(sc, topo)
+	variant, blocking, tdepth, err := resolveKernel(sc, topo)
 	if err != nil {
 		return nil, err
 	}
 	opt := solver.Options{
-		Global:       sc.Dims,
-		H:            sc.H,
-		Dt:           sc.Dt,
-		Steps:        sc.Steps,
-		Topo:         topo,
-		Comm:         sc.Comm,
-		Threads:      sc.Threads,
-		CopyHalo:     sc.CopyHalo,
-		CoalesceHalo: sc.CoalesceHalo,
-		Variant:      variant,
-		Blocking:     blocking,
-		ABC:          sc.ABC,
-		SpongeWidth:  sc.SpongeWidth,
-		FreeSurface:  sc.FreeSurface,
-		Attenuation:  sc.Attenuation,
-		Sources:      sc.Sources,
-		Fault:        sc.Fault,
-		Receivers:    sc.Receivers,
-		TrackPGV:     sc.TrackPGV,
-		Telemetry:    sc.Telemetry,
+		Global:        sc.Dims,
+		H:             sc.H,
+		Dt:            sc.Dt,
+		Steps:         sc.Steps,
+		Topo:          topo,
+		Comm:          sc.Comm,
+		Threads:       sc.Threads,
+		CopyHalo:      sc.CopyHalo,
+		CoalesceHalo:  sc.CoalesceHalo,
+		Variant:       variant,
+		Blocking:      blocking,
+		TemporalDepth: tdepth,
+		ABC:           sc.ABC,
+		SpongeWidth:   sc.SpongeWidth,
+		FreeSurface:   sc.FreeSurface,
+		Attenuation:   sc.Attenuation,
+		Sources:       sc.Sources,
+		Fault:         sc.Fault,
+		Receivers:     sc.Receivers,
+		TrackPGV:      sc.TrackPGV,
+		Telemetry:     sc.Telemetry,
 	}
 	return solver.Run(q, opt)
 }
 
-// resolveKernel maps Scenario.Variant/JBlock/KBlock onto the solver's
-// kernel configuration. "auto" runs the tuner micro-benchmark on the rank-0
-// subgrid shape — representative of every rank, since the decomposition
-// splits near-evenly — and any explicit JBlock/KBlock still wins over the
-// tuned blocking.
-func resolveKernel(sc Scenario, topo mpi.Cart) (fd.Variant, fd.Blocking, error) {
-	variant, blocking := fd.Blocked, fd.DefaultBlocking
+// resolveKernel maps Scenario.Variant/JBlock/KBlock/TemporalDepth onto the
+// solver's kernel configuration. "auto" runs the tuner micro-benchmark on the
+// rank-0 subgrid shape — representative of every rank, since the
+// decomposition splits near-evenly — and any explicit JBlock/KBlock or
+// TemporalDepth still wins over the tuned values.
+func resolveKernel(sc Scenario, topo mpi.Cart) (fd.Variant, fd.Blocking, int, error) {
+	variant, blocking, tdepth := fd.Blocked, fd.DefaultBlocking, 1
 	switch sc.Variant {
 	case "":
 	case "auto":
 		dc, err := decomp.New(sc.Dims, topo)
 		if err != nil {
-			return 0, fd.Blocking{}, fmt.Errorf("awp: %w", err)
+			return 0, fd.Blocking{}, 0, fmt.Errorf("awp: %w", err)
 		}
 		threads := sc.Threads
 		if threads <= 0 {
@@ -207,13 +215,13 @@ func resolveKernel(sc Scenario, topo mpi.Cart) (fd.Variant, fd.Blocking, error) 
 			CachePath:   sc.TunerCachePath,
 		})
 		if err != nil {
-			return 0, fd.Blocking{}, fmt.Errorf("awp: kernel autotune: %w", err)
+			return 0, fd.Blocking{}, 0, fmt.Errorf("awp: kernel autotune: %w", err)
 		}
-		variant, blocking = choice.Variant, choice.Blocking
+		variant, blocking, tdepth = choice.Variant, choice.Blocking, choice.TemporalDepth
 	default:
 		v, err := fd.ParseVariant(sc.Variant)
 		if err != nil {
-			return 0, fd.Blocking{}, fmt.Errorf("awp: %w", err)
+			return 0, fd.Blocking{}, 0, fmt.Errorf("awp: %w", err)
 		}
 		variant = v
 	}
@@ -223,7 +231,35 @@ func resolveKernel(sc Scenario, topo mpi.Cart) (fd.Variant, fd.Blocking, error) 
 	if sc.KBlock > 0 {
 		blocking.KBlock = sc.KBlock
 	}
-	return variant, blocking, nil
+	if sc.TemporalDepth > 0 {
+		tdepth = sc.TemporalDepth
+	}
+	if tdepth > 1 && !temporalDepthOK(sc, topo) {
+		tdepth = 1
+	}
+	return variant, blocking, tdepth, nil
+}
+
+// temporalDepthOK reports whether the time-tiled engine covers the scenario:
+// it supports the sponge/no-ABC boundaries and the blocking comm models, but
+// not M-PML, communication-computation overlap, dynamic rupture, or subgrids
+// shallower than the deep halo.
+func temporalDepthOK(sc Scenario, topo mpi.Cart) bool {
+	if sc.ABC == MPMLABC || sc.Comm == AsyncOverlap || sc.Fault != nil {
+		return false
+	}
+	T := sc.TemporalDepth
+	if T <= 0 {
+		T = fd.MaxTemporalDepth
+	}
+	parts := [3]int{topo.PX, topo.PY, topo.PZ}
+	dims := [3]int{sc.Dims.NX, sc.Dims.NY, sc.Dims.NZ}
+	for ax := 0; ax < 3; ax++ {
+		if parts[ax] > 1 && dims[ax]/parts[ax] < 4*T {
+			return false
+		}
+	}
+	return true
 }
 
 // SoCalModel returns the synthetic southern-California velocity model

@@ -27,6 +27,7 @@ func main() {
 	variant := flag.String("variant", "", "stencil kernel: naive|recip|precomp|blocked|unrolled|fused, auto (per-machine autotuner), or empty for the blocked default")
 	jblock := flag.Int("jblock", 0, "cache-blocking tile extent in j (0: default or autotuned)")
 	kblock := flag.Int("kblock", 0, "cache-blocking tile extent in k (0: default or autotuned)")
+	tdepth := flag.Int("tdepth", 0, "temporal tiling depth: steps per deep halo exchange, 1|2|4 (0: 1 or autotuned)")
 	tunerCache := flag.String("tuner-cache", "", "kernel autotuner profile path (default: per-user cache dir)")
 	mw := flag.Float64("m0", 1e16, "seismic moment, N*m")
 	srcI := flag.Int("si", -1, "source i (default center)")
@@ -78,6 +79,7 @@ func main() {
 		Dims: dims, H: *h, Steps: *steps, Ranks: *ranks,
 		Threads: *threads, CopyHalo: *copyHalo, CoalesceHalo: *coalesce,
 		Variant: *variant, JBlock: *jblock, KBlock: *kblock,
+		TemporalDepth:  *tdepth,
 		TunerCachePath: *tunerCache,
 		FreeSurface:    true, Attenuation: true,
 		Sources:   awp.PointMomentSource(*srcI, *srcJ, *srcK, *mw, 0.3, 0.08),

@@ -113,14 +113,19 @@ type Model struct {
 // New builds the attenuation model for medium m over band, discretized at
 // time step dt (Apply panics if called with a different dt).
 func New(m *medium.Medium, band Band, dt float64) *Model {
+	// Memory variables inherit the medium's ghost width: time-tiled runs
+	// allocate deep-ghost media and need matching deep memory variables for
+	// the recomputed extension cells.
+	gw := m.Rho.G()
+	nf := func() *grid.Field3 { return grid.NewField3G(m.Dims, gw) }
 	a := &Model{
 		Dims: m.Dims,
 		Band: band,
 		Taus: band.RelaxationTimes(),
 		dt:   dt,
-		ZXX:  grid.NewField3(m.Dims), ZYY: grid.NewField3(m.Dims), ZZZ: grid.NewField3(m.Dims),
-		ZXY: grid.NewField3(m.Dims), ZXZ: grid.NewField3(m.Dims), ZYZ: grid.NewField3(m.Dims),
-		DLam: grid.NewField3(m.Dims), DMu: grid.NewField3(m.Dims),
+		ZXX:  nf(), ZYY: nf(), ZZZ: nf(),
+		ZXY: nf(), ZXZ: nf(), ZYZ: nf(),
+		DLam: nf(), DMu: nf(),
 	}
 	for mm := 0; mm < NRelax; mm++ {
 		tau := a.Taus[mm]
@@ -131,7 +136,7 @@ func New(m *medium.Medium, band Band, dt float64) *Model {
 	// deficit is 8x the full-ensemble per-mechanism deficit, normalized to
 	// the band-center loss.
 	norm := float64(NRelax) / ensembleLoss(a.Taus, band.CenterOmega())
-	g := grid.Ghost
+	g := gw
 	d := m.Dims
 	for k := -g; k < d.NZ+g; k++ {
 		for j := -g; j < d.NY+g; j++ {

@@ -108,10 +108,54 @@ func (sp *Sponge) ApplyPool(s *fd.State, p *sched.Pool) {
 	})
 }
 
+// ApplyBoxFields damps the given fields over box — which may extend into
+// the ghost region, as deep as the fields' ghost width — using the same
+// global-coordinate taper as Apply. It is the windowed form used by the
+// time-tiled engine, where each leapfrog step inside a super-step damps
+// only the skewed window it just updated. Planes of distinct (field, k)
+// pairs are disjoint, so the pooled form is race-free and bit-identical
+// to a serial sweep.
+func (sp *Sponge) ApplyBoxFields(fields []*grid.Field3, box fd.Box, p *sched.Pool) {
+	if len(fields) == 0 || box.Empty() {
+		return
+	}
+	gw := fields[0].G()
+	fx, fy, fz, uniform := sp.factorsG(gw)
+	if uniform {
+		return
+	}
+	nk := box.K1 - box.K0
+	w := box.I1 - box.I0
+	p.ForEachN(len(fields)*nk, func(idx int) {
+		f := fields[idx/nk]
+		k := box.K0 + idx%nk
+		zk := fz[k+gw]
+		for j := box.J0; j < box.J1; j++ {
+			fyz := fy[j+gw] * zk
+			if fyz == 1 && !sp.Faces.XLo && !sp.Faces.XHi {
+				continue
+			}
+			base := f.Idx(box.I0, j, k)
+			row := f.Data()[base : base+w]
+			for i := range row {
+				t := fx[box.I0+i+gw] * fyz
+				if t != 1 {
+					row[i] *= t
+				}
+			}
+		}
+	})
+}
+
 // factors precomputes the per-axis taper over the padded local range;
 // uniform reports that every factor is 1 (nothing to damp).
 func (sp *Sponge) factors() (fx, fy, fz []float32, uniform bool) {
-	g := grid.Ghost
+	return sp.factorsG(grid.Ghost)
+}
+
+// factorsG is factors with a caller-chosen ghost width (the time-tiled
+// engine damps recomputed extension cells up to 4T deep).
+func (sp *Sponge) factorsG(g int) (fx, fy, fz []float32, uniform bool) {
 	l := sp.Local
 	fx = make([]float32, l.NX+2*g)
 	fy = make([]float32, l.NY+2*g)

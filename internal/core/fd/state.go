@@ -42,13 +42,19 @@ type State struct {
 	XY, XZ, YZ *grid.Field3
 }
 
-// NewState allocates a zeroed wavefield.
-func NewState(d grid.Dims) *State {
+// NewState allocates a zeroed wavefield with default ghost width.
+func NewState(d grid.Dims) *State { return NewStateG(d, grid.Ghost) }
+
+// NewStateG allocates a zeroed wavefield with ghost-width `ghost` on every
+// field; temporal tiling at depth T uses ghost = 4T so one super-step of
+// stencil erosion stays local between halo exchanges.
+func NewStateG(d grid.Dims, ghost int) *State {
+	f := func() *grid.Field3 { return grid.NewField3G(d, ghost) }
 	return &State{
 		Dims: d,
-		VX:   grid.NewField3(d), VY: grid.NewField3(d), VZ: grid.NewField3(d),
-		XX: grid.NewField3(d), YY: grid.NewField3(d), ZZ: grid.NewField3(d),
-		XY: grid.NewField3(d), XZ: grid.NewField3(d), YZ: grid.NewField3(d),
+		VX:   f(), VY: f(), VZ: f(),
+		XX: f(), YY: f(), ZZ: f(),
+		XY: f(), XZ: f(), YZ: f(),
 	}
 }
 

@@ -1,0 +1,148 @@
+// Temporal tiling (time skewing) for the staggered-grid leapfrog scheme.
+//
+// A super-step advances the wavefield T time steps while each k-chunk of
+// the subgrid is cache-resident, instead of streaming the whole subgrid
+// from DRAM once per half-step. Because every kernel is a radius-2 *star*
+// stencil (all reads are single-axis offsets of at most 2 cells), a value
+// of leapfrog stage h+1 at plane k depends on stage-h values no further
+// than k+2, so stage h+1 can trail stage h by exactly 2 planes. The engine
+// sweeps k-chunks bottom-up and, within each chunk, runs the stages of all
+// T steps at skewed windows:
+//
+//	stage h (1-based)    operation              window lag (planes)
+//	1                    velocity step 1        0
+//	2                    stress   step 1        2
+//	3                    damp 1 + velocity 2    4
+//	...                  ...                    2(h-1)
+//	2T                   stress   step T        2(2T-1)
+//	2T+1                 damp step T (tail)     4T
+//
+// so a chunk is touched by every stage before the sweep moves on and its
+// planes are still warm in cache.
+//
+// At rank boundaries the same skew becomes *erosion*: toward a face with a
+// neighbor, the valid region of stage h shrinks by 2 cells per stage.
+// Ghost regions 4T deep (exchanged once per super-step) let each rank
+// recompute the eroded cells itself: stage h extends ext_h = 4T-2h cells
+// into the ghost region, reproducing bit-for-bit the values the neighbor
+// computes for those cells, so that after 2T+1 stages the interior is
+// exactly as if halos had been exchanged every half-step.
+package fd
+
+import "repro/internal/grid"
+
+// MaxTemporalDepth bounds the supported super-step length.
+const MaxTemporalDepth = 4
+
+// TemporalGhost returns the uniform field ghost width for temporal depth
+// T: the classic 2-cell frame at T=1, 4T planes otherwise (the deepest
+// read of the first stage reaches lag 0 + ext 4T-2 + stencil radius 2).
+func TemporalGhost(T int) int {
+	if T <= 1 {
+		return grid.Ghost
+	}
+	return 4 * T
+}
+
+// VelDepth is the exchange depth of the velocity components at depth T:
+// stage 1 (velocity step 1) computes ext 4T-2 cells into the ghosts and
+// accumulates onto the velocity stored there.
+func VelDepth(T int) int { return 4*T - 2 }
+
+// StressDepth is the exchange depth of the stress components at depth T:
+// velocity step 1 at ext 4T-2 reads stress at single-axis offsets up to 2.
+func StressDepth(T int) int { return 4 * T }
+
+// MemvarDepth is the exchange depth of the attenuation memory variables:
+// they are read only at the updated cell itself, by stress stages whose
+// deepest extension is ext 4T-4 (step 1).
+func MemvarDepth(T int) int { return 4*T - 4 }
+
+// NumStages returns the number of pipeline stages of a super-step of T
+// steps: T velocity stages, T stress stages, plus the trailing damp-only
+// stage that completes step T.
+func NumStages(T int) int { return 2*T + 1 }
+
+// StageLag returns the window lag (in k-planes) of stage h in [1, 2T+1].
+func StageLag(h int) int { return 2 * (h - 1) }
+
+// clipExt clamps a (possibly negative) extension to >= 0.
+func clipExt(e int) int {
+	if e < 0 {
+		return 0
+	}
+	return e
+}
+
+// VelExt returns the ghost extension of the velocity update of step s
+// (stage 2s-1) at depth T.
+func VelExt(T, s int) int { return clipExt(4*T - 4*s + 2) }
+
+// StressExt returns the ghost extension of the stress update of step s
+// (stage 2s) at depth T. The damping of step s and the source injection
+// of step s use the same extension.
+func StressExt(T, s int) int { return clipExt(4*T - 4*s) }
+
+// MinKChunk is the smallest chunk height for which a stage's downward
+// reads (2 planes below a window that itself trails its supplier by 2)
+// land in a chunk the supplier has already completed.
+const MinKChunk = 4
+
+// ChunkStart returns the first chunk origin of the sweep: low enough that
+// the deepest stage-1 window (ext 4T-2 below the interior when a z-low
+// neighbor exists) is covered by the first chunks.
+func ChunkStart(T int, zLoNbr bool) int {
+	if zLoNbr {
+		return -(4*T - 2)
+	}
+	return 0
+}
+
+// ChunkEnd returns the exclusive chunk-origin bound: high enough that the
+// most-lagged stage (the tail damp at lag 4T) reaches the top of its
+// range.
+func ChunkEnd(T, nz int) int { return nz + 4*T }
+
+// StageWindow intersects the chunk [c0, c0+kChunk) shifted down by lag
+// with the valid k-range [k0, k1), returning an empty range (w1 <= w0)
+// when the stage has nothing to do in this chunk. Over the whole sweep the
+// windows of one stage tile [k0, k1) exactly — each plane is visited once.
+func StageWindow(c0, kChunk, lag, k0, k1 int) (w0, w1 int) {
+	w0, w1 = c0-lag, c0+kChunk-lag
+	if w0 < k0 {
+		w0 = k0
+	}
+	if w1 > k1 {
+		w1 = k1
+	}
+	return
+}
+
+// SuperStepSweep advances a single-rank wavefield T steps with the skewed
+// chunk schedule and no boundary work: for each chunk it interleaves the
+// 2T velocity/stress stages at their lags. velocity and stressTile run
+// the respective update over one window box; stressTile must include
+// whatever rides with the stress update (attenuation, when enabled), in
+// the same per-window composition the step-by-step path uses. The result
+// is bit-identical to T sequential velocity+stressTile passes over the
+// full box. This is the measurement kernel of the temporal-depth
+// autotuner and of benchtab -exp ttile.
+func SuperStepSweep(d grid.Dims, T, kChunk int, velocity func(Box), stressTile func(Box)) {
+	if kChunk < MinKChunk {
+		kChunk = MinKChunk
+	}
+	for c0 := 0; c0 < ChunkEnd(T, d.NZ); c0 += kChunk {
+		for h := 1; h <= 2*T; h++ {
+			w0, w1 := StageWindow(c0, kChunk, StageLag(h), 0, d.NZ)
+			if w1 <= w0 {
+				continue
+			}
+			box := Box{0, d.NX, 0, d.NY, w0, w1}
+			if h%2 == 1 {
+				velocity(box)
+			} else {
+				stressTile(box)
+			}
+		}
+	}
+}

@@ -21,6 +21,16 @@ type HaloBenchConfig struct {
 	Coalesce bool
 	Threads  int
 	Steps    int // measured exchange steps (velocity + stress per step)
+
+	// EmulatedAlpha, when positive, arms mpi.World.SetLinkLatency so
+	// every transmission charges the sender a fixed per-message overhead
+	// of EmulatedAlpha. The in-process transport has near-zero
+	// per-message startup cost, so protocols that trade message count
+	// for message volume cannot be separated without it; a few
+	// microseconds matches the Alpha terms of the perfmodel machine
+	// descriptions (Jaguar-class: 8µs). Zero leaves the transport
+	// unmodified.
+	EmulatedAlpha time.Duration
 }
 
 // HaloBenchResult reports the measured exchange cost and the observed
@@ -197,4 +207,82 @@ func fillDeterministic(st *fd.State, rank int) {
 			}
 		}
 	}
+}
+
+// RunTemporalHaloDuel measures the classic two-exchanges-per-step protocol
+// against the deep super-step exchange at temporal depth T in one world,
+// on an equal per-step basis: each timed repetition advances cfg.Steps
+// steps' worth of communication — cfg.Steps velocity+stress exchange pairs
+// on the classic side, cfg.Steps/T deep exchanges on the other. The
+// interleaved minimum-of-reps design matches RunHaloLayoutDuel: both
+// protocols share the comm (disjoint tag spaces) and the scheduler drift
+// of a busy host hits each alike. Returns wall seconds per simulated step
+// for each protocol (rank-0 values). Fields are exchanged without
+// attenuation memory variables on either side, so the duel compares the
+// protocols on the same nine wavefields.
+func RunTemporalHaloDuel(cfg HaloBenchConfig, T int) (classic, deep float64) {
+	if cfg.Steps < T {
+		cfg.Steps = T
+	}
+	cfg.Steps -= cfg.Steps % T
+	if cfg.Threads < 1 {
+		cfg.Threads = 1
+	}
+	steps := cfg.Steps
+	world := mpi.NewWorld(cfg.Topo.Size())
+	if cfg.EmulatedAlpha > 0 {
+		world.SetLinkLatency(cfg.EmulatedAlpha)
+	}
+	world.Run(func(c *mpi.Comm) {
+		stC := fd.NewState(cfg.Local)
+		stD := fd.NewStateG(cfg.Local, fd.TemporalGhost(T))
+		fillDeterministic(stC, c.Rank())
+		fillDeterministic(stD, c.Rank())
+		pool := sched.NewPool(cfg.Threads)
+		defer pool.Close()
+		hc := newHalo(c, cfg.Topo, cfg.CopyHalo, cfg.Coalesce, pool)
+		hd := newHalo(c, cfg.Topo, cfg.CopyHalo, cfg.Coalesce, pool)
+
+		spec := deepSpec{d: cfg.Local}
+		dv, ds := fd.VelDepth(T), fd.StressDepth(T)
+		for slot, f := range stD.Fields() {
+			depth := ds
+			if slot < 3 {
+				depth = dv
+			}
+			spec.fields = append(spec.fields, deepField{f: f, slot: slot, depth: depth})
+		}
+
+		runClassic := func() {
+			for s := 0; s < steps; s++ {
+				hc.exchangeVelocities(stC, cfg.Model)
+				hc.exchangeStresses(stC, cfg.Model)
+			}
+		}
+		runDeep := func() {
+			for s := 0; s < steps/T; s++ {
+				hd.exchangeDeep(spec)
+			}
+		}
+		runClassic()
+		runDeep() // warm buffers and plans
+		times := [2]float64{}
+		for rep := 0; rep < 5; rep++ {
+			for li, run := range []func(){runClassic, runDeep} {
+				c.Barrier()
+				t0 := time.Now()
+				run()
+				c.Barrier()
+				if c.Rank() == 0 {
+					if sec := time.Since(t0).Seconds() / float64(steps); rep == 0 || sec < times[li] {
+						times[li] = sec
+					}
+				}
+			}
+		}
+		if c.Rank() == 0 {
+			classic, deep = times[0], times[1]
+		}
+	})
+	return classic, deep
 }

@@ -55,6 +55,16 @@ type Options struct {
 	Comm     CommModel
 	Variant  fd.Variant
 	Blocking fd.Blocking
+	// TemporalDepth T > 1 enables time-tiled execution: each super-step
+	// advances T leapfrog steps over cache-resident k-chunks with skewed
+	// stage windows, exchanging 4T-deep halos once per super-step (one
+	// message per neighbor per super-step when coalesced) instead of two
+	// 2-deep exchanges per step. Results are bit-identical to depth 1.
+	// 0 defaults to 1 (classic stepping); the maximum is
+	// fd.MaxTemporalDepth. Depth > 1 requires the AsyncOverlap comm
+	// model, M-PML boundaries and DFR fault mode to be off, and every
+	// decomposed axis to give each rank at least 4T cells.
+	TemporalDepth int
 	// Threads sets the per-rank worker-pool size of the hybrid MPI/OpenMP
 	// mode (§IV.D): a persistent pool of Threads goroutines executes the
 	// kernel loops as a queue of j/k tiles (shape Blocking). 0 defaults to

@@ -47,6 +47,33 @@ func Prepare(opt Options) (decomp.Decomp, Options, error) {
 	if opt.Band.FMax <= 0 {
 		opt.Band = attenuation.DefaultBand
 	}
+	if opt.TemporalDepth == 0 {
+		opt.TemporalDepth = 1
+	}
+	if opt.TemporalDepth < 1 || opt.TemporalDepth > fd.MaxTemporalDepth {
+		return decomp.Decomp{}, opt, fmt.Errorf("solver: TemporalDepth must be in [1, %d], got %d",
+			fd.MaxTemporalDepth, opt.TemporalDepth)
+	}
+	if T := opt.TemporalDepth; T > 1 {
+		if opt.Comm == AsyncOverlap {
+			return decomp.Decomp{}, opt, fmt.Errorf("solver: TemporalDepth > 1 does not support the overlap comm model (the super-step has no per-step exchange to overlap)")
+		}
+		if opt.ABC == MPMLABC {
+			return decomp.Decomp{}, opt, fmt.Errorf("solver: TemporalDepth > 1 does not support M-PML boundaries (split-field zone state cannot be recomputed in ghost extensions)")
+		}
+		if opt.Fault != nil {
+			return decomp.Decomp{}, opt, fmt.Errorf("solver: TemporalDepth > 1 does not support DFR fault mode")
+		}
+		need := 4 * T
+		dims := [3]int{opt.Global.NX, opt.Global.NY, opt.Global.NZ}
+		parts := [3]int{opt.Topo.PX, opt.Topo.PY, opt.Topo.PZ}
+		for ax := 0; ax < 3; ax++ {
+			if parts[ax] > 1 && dims[ax]/parts[ax] < need {
+				return decomp.Decomp{}, opt, fmt.Errorf("solver: TemporalDepth %d needs >= %d cells per rank on decomposed axes; axis %d gives %d",
+					T, need, ax, dims[ax]/parts[ax])
+			}
+		}
+	}
 	dc, err := decomp.New(opt.Global, opt.Topo)
 	if err != nil {
 		return decomp.Decomp{}, opt, err
@@ -85,8 +112,12 @@ type Stepper struct {
 // dc must come from Prepare. Callers must Close the Stepper.
 func NewStepper(c *mpi.Comm, q cvm.Querier, dc decomp.Decomp, opt Options) (*Stepper, error) {
 	rs := &rankState{comm: c, sub: dc.SubFor(c.Rank())}
-	rs.med = medium.FromCVM(q, dc, rs.sub, opt.H)
-	rs.st = fd.NewState(rs.sub.Local)
+	// Depth > 1 pads every field (state, medium, memory variables) with a
+	// uniform 4T-cell ghost frame; the kernels share one flat index across
+	// the arrays, so the widths must agree.
+	gw := fd.TemporalGhost(opt.TemporalDepth)
+	rs.med = medium.FromCVMGhost(q, dc, rs.sub, opt.H, gw)
+	rs.st = fd.NewStateG(rs.sub.Local, gw)
 	rs.pool = sched.NewPool(opt.Threads)
 	ok := false
 	defer func() {
@@ -136,7 +167,21 @@ func NewStepper(c *mpi.Comm, q cvm.Querier, dc decomp.Decomp, opt Options) (*Ste
 		rs.atten = attenuation.New(rs.med, opt.Band, dt)
 		rs.atten.Origin = [3]int{rs.sub.OffX, rs.sub.OffY, rs.sub.OffZ}
 	}
-	rs.srcs = source.Localize(opt.Sources, rs.sub, opt.H)
+	// At depth > 1 the stress stages recompute ghost cells up to 4T-4 deep
+	// toward neighbors; a neighbor-owned source in that region must inject
+	// here too, or the recomputed cells diverge from the owner's.
+	var srcLo, srcHi [3]int
+	if e := 4*opt.TemporalDepth - 4; opt.TemporalDepth > 1 {
+		for ax := 0; ax < 3; ax++ {
+			if rs.nbrMask[ax][0] {
+				srcLo[ax] = e
+			}
+			if rs.nbrMask[ax][1] {
+				srcHi[ax] = e
+			}
+		}
+	}
+	rs.srcs = source.LocalizeExt(opt.Sources, rs.sub, opt.H, srcLo, srcHi)
 
 	if opt.Fault != nil {
 		if err := rs.setupFault(opt, dt); err != nil {
@@ -162,7 +207,8 @@ func NewStepper(c *mpi.Comm, q cvm.Querier, dc decomp.Decomp, opt Options) (*Ste
 		rs.pgvy = make([]float64, n)
 		rs.pgvz = make([]float64, n)
 	}
-	rs.pgvFolded = opt.Variant == fd.Fused && rs.sponge != nil && rs.pgvh != nil
+	rs.pgvFolded = opt.Variant == fd.Fused && rs.sponge != nil && rs.pgvh != nil &&
+		opt.TemporalDepth <= 1
 
 	s := &Stepper{rs: rs, opt: opt, dc: dc, c: c, dt: dt}
 	if opt.Fault != nil {
@@ -179,8 +225,17 @@ func (s *Stepper) Dt() float64 { return s.dt }
 func (s *Stepper) StepIndex() int { return s.step }
 
 // SetStepIndex rewinds (or advances) the step cursor — the rollback half
-// of coordinated recovery, paired with a checkpoint.Load into State().
-func (s *Stepper) SetStepIndex(n int) { s.step = n }
+// of coordinated recovery, paired with a checkpoint.Load into State(). At
+// temporal depth T > 1 the cursor must land on a super-step boundary (a
+// multiple of T): mid-super-step wavefield states never exist to roll back
+// to, and resuming off-boundary would misalign the erosion schedule.
+func (s *Stepper) SetStepIndex(n int) error {
+	if T := s.opt.TemporalDepth; T > 1 && n%T != 0 {
+		return fmt.Errorf("solver: step index %d is not a super-step boundary (TemporalDepth %d)", n, T)
+	}
+	s.step = n
+	return nil
+}
 
 // Done reports whether every configured step has executed.
 func (s *Stepper) Done() bool { return s.step >= s.opt.Steps }
@@ -197,8 +252,21 @@ func (s *Stepper) Atten() *attenuation.Model { return s.rs.atten }
 func (s *Stepper) Recorder() *telemetry.Recorder { return s.rs.tel }
 
 // Step executes one full time step: kernels, halo exchange, sources,
-// boundaries, and index-addressed observable extraction.
+// boundaries, and index-addressed observable extraction. At temporal depth
+// T > 1 one call executes a whole super-step — T steps (fewer on the final
+// partial super-step) with a single deep exchange — and the observables of
+// every contained step are extracted inside the sweep; the step cursor
+// advances by the number of steps executed.
 func (s *Stepper) Step() {
+	if T := s.opt.TemporalDepth; T > 1 {
+		if left := s.opt.Steps - s.step; left < T {
+			T = left
+		}
+		s.rs.advanceSuper(s.opt, s.dt, s.step, T, &s.tm)
+		s.rs.tel.StepEnd()
+		s.step += T
+		return
+	}
 	step := s.step
 	tNow := float64(step+1) * s.dt
 	s.rs.advance(s.opt, s.dt, tNow, &s.tm)

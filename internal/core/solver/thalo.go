@@ -1,0 +1,372 @@
+package solver
+
+import (
+	"repro/internal/core/fd"
+	"repro/internal/grid"
+	"repro/internal/mpi"
+	"repro/internal/telemetry"
+)
+
+// Deep (super-step) halo exchange for temporal tiling: instead of two
+// 2-plane exchanges per step, one exchange per T-step super-step refreshes
+// ghost regions deep enough (4T-2 planes of velocity, 4T of stress, 4T-4
+// of attenuation memory variables) that each rank recomputes the eroded
+// boundary cells locally for T whole steps.
+//
+// The exchange runs as three sequential per-axis rounds (x, then y, then
+// z). Each round's cross-sections are extended along the axes already
+// exchanged, so corner ghosts fill progressively: the y round ships x-ghost
+// cells the x round just filled, and the z round ships both. Axis peers in
+// a cartesian decomposition share their cross-axis neighbor masks, so the
+// section shapes on both ends of a message agree by construction.
+//
+// On free-surface ranks the x/y cross-sections start at k = -2: the FS2
+// image planes (written from interior values by the free-surface updates)
+// are boundary data the next super-step's first stages read at ghost
+// extensions, and no z round exists to carry them (the surface has no
+// z-low neighbor). For fields whose image planes are never written (sxx,
+// syy, sxy, the memory variables) those planes are deterministically zero
+// on every rank, so shipping them is harmless and keeps section shapes
+// uniform across fields.
+type deepField struct {
+	f     *grid.Field3
+	slot  int // tag slot: 0-8 wavefield, 9-14 memory variables
+	depth int // exchange depth in planes
+}
+
+type deepSpec struct {
+	d      grid.Dims
+	fields []deepField
+	zlo    int // -2 on free-surface ranks, else 0
+}
+
+// deepFields assembles the exchange list for one rank at depth T.
+func (rs *rankState) deepFields(T int) deepSpec {
+	spec := deepSpec{d: rs.sub.Local}
+	if rs.fs != nil {
+		spec.zlo = -grid.Ghost
+	}
+	dv, ds := fd.VelDepth(T), fd.StressDepth(T)
+	for slot, f := range rs.st.Fields() {
+		depth := ds
+		if slot < 3 {
+			depth = dv
+		}
+		spec.fields = append(spec.fields, deepField{f: f, slot: slot, depth: depth})
+	}
+	if rs.atten != nil {
+		dm := fd.MemvarDepth(T)
+		zs := []*grid.Field3{rs.atten.ZXX, rs.atten.ZYY, rs.atten.ZZZ,
+			rs.atten.ZXY, rs.atten.ZXZ, rs.atten.ZYZ}
+		for i, z := range zs {
+			spec.fields = append(spec.fields, deepField{f: z, slot: 9 + i, depth: dm})
+		}
+	}
+	return spec
+}
+
+// deepRange returns the block of one field's section in round ax, side sd:
+// the interior planes to pack (ghost=false) or the ghost planes to fill
+// (ghost=true). Cross-axes before ax extend df cells into the (already
+// exchanged) ghosts where a neighbor exists; cross-axes after ax stay
+// interior, except z which starts at zlo (FS image planes).
+func deepRange(d grid.Dims, nbr [3][2]bool, zlo int, ax grid.Axis, sd grid.Side, df int, ghost bool) (r [6]int) {
+	n := [3]int{d.NX, d.NY, d.NZ}
+	lo := [3]int{0, 0, zlo}
+	hi := [3]int{d.NX, d.NY, d.NZ}
+	for b := grid.X; b < ax; b++ {
+		if nbr[b][0] {
+			lo[b] = -df
+		}
+		if nbr[b][1] {
+			hi[b] = n[b] + df
+		}
+	}
+	switch {
+	case !ghost && sd == grid.Low:
+		lo[ax], hi[ax] = 0, df
+	case !ghost && sd == grid.High:
+		lo[ax], hi[ax] = n[ax]-df, n[ax]
+	case ghost && sd == grid.Low:
+		lo[ax], hi[ax] = -df, 0
+	default:
+		lo[ax], hi[ax] = n[ax], n[ax]+df
+	}
+	return [6]int{lo[0], hi[0], lo[1], hi[1], lo[2], hi[2]}
+}
+
+func rangeLen(r [6]int) int { return grid.RangeLen(r[0], r[1], r[2], r[3], r[4], r[5]) }
+
+// dtag builds the per-field deep-exchange tag. The 8192 base keeps the
+// space disjoint from the per-step tags (per-field <= 65, coalesced
+// 4096+...); slots run 0-14.
+func dtag(slot int, ax grid.Axis, dirHigh bool) int {
+	t := 8192 + (slot*3+int(ax))*2
+	if dirHigh {
+		t++
+	}
+	return t
+}
+
+// dctag is the coalesced deep-message tag, above the per-field deep space
+// (slot 14 -> max 8192+89).
+func dctag(ax grid.Axis, dirHigh bool) int {
+	t := 8192 + 96 + int(ax)*2
+	if dirHigh {
+		t++
+	}
+	return t
+}
+
+// copy-discipline buffer keys for the deep exchange, disjoint from the
+// per-step keys (<= ~6700).
+func dkeySend(slot int, ax grid.Axis, side int) int { return 10000 + (slot*3+int(ax))*2 + side }
+func dkeyRecv(slot int, ax grid.Axis, side int) int { return 11000 + (slot*3+int(ax))*2 + side }
+func dckeySend(ax grid.Axis, side int) int          { return 12000 + int(ax)*2 + side }
+func dckeyRecv(ax grid.Axis, side int) int          { return 12100 + int(ax)*2 + side }
+
+// nbrMask converts the halo's neighbor table to a presence mask.
+func (h *halo) nbrMask() (m [3][2]bool) {
+	for ax := 0; ax < 3; ax++ {
+		for side := 0; side < 2; side++ {
+			m[ax][side] = h.nbr[ax][side] >= 0
+		}
+	}
+	return
+}
+
+// exchangeDeep runs the three rounds of one super-step exchange. All comm
+// models share the nonblocking round implementation (each round must
+// complete before the next starts — later rounds ship earlier rounds'
+// results); the models differ only in the per-super-step barrier the
+// caller adds for Synchronous.
+func (h *halo) exchangeDeep(spec deepSpec) {
+	for ax := grid.X; ax <= grid.Z; ax++ {
+		if h.coalesce {
+			h.deepRoundCoalesced(spec, ax)
+		} else {
+			h.deepRound(spec, ax)
+		}
+	}
+}
+
+// deepRound exchanges one axis with one message per field per neighbor.
+func (h *halo) deepRound(spec deepSpec, ax grid.Axis) {
+	mask := h.nbrMask()
+	type pending struct {
+		df  deepField
+		sd  grid.Side
+		buf []float32
+		req *mpi.Request
+	}
+	var pend []pending
+	for _, df := range spec.fields {
+		for side := 0; side < 2; side++ {
+			peer := h.nbr[ax][side]
+			if peer < 0 {
+				continue
+			}
+			rt := dtag(df.slot, ax, side == 0)
+			if h.copyMode {
+				r := deepRange(spec.d, mask, spec.zlo, ax, grid.Side(side), df.depth, true)
+				in := h.buf(dkeyRecv(df.slot, ax, side), rangeLen(r))
+				req := h.comm.Irecv(in, peer, rt)
+				pend = append(pend, pending{df, grid.Side(side), in, req})
+			} else {
+				req := h.comm.IrecvTake(peer, rt)
+				pend = append(pend, pending{df, grid.Side(side), nil, req})
+			}
+		}
+	}
+	for _, df := range spec.fields {
+		for side := 0; side < 2; side++ {
+			peer := h.nbr[ax][side]
+			if peer < 0 {
+				continue
+			}
+			r := deepRange(spec.d, mask, spec.zlo, ax, grid.Side(side), df.depth, false)
+			n := rangeLen(r)
+			var out []float32
+			if h.copyMode {
+				out = h.buf(dkeySend(df.slot, ax, side), n)
+			} else {
+				out = mpi.GetBuffer(n)
+			}
+			sp := h.tel.Span(telemetry.Pack)
+			df.f.PackRange(r[0], r[1], r[2], r[3], r[4], r[5], out)
+			sp.End()
+			sp = h.tel.Span(telemetry.Send)
+			if h.copyMode {
+				h.comm.Isend(peer, dtag(df.slot, ax, side == 1), out)
+			} else {
+				h.comm.IsendOwned(peer, dtag(df.slot, ax, side == 1), out)
+			}
+			sp.End()
+		}
+	}
+	for _, p := range pend {
+		sp := h.tel.Span(telemetry.Recv)
+		p.req.Wait()
+		sp.End()
+		sp = h.tel.Span(telemetry.Unpack)
+		in := p.buf
+		if !h.copyMode {
+			in = p.req.Data()
+		}
+		r := deepRange(spec.d, mask, spec.zlo, ax, p.sd, p.df.depth, true)
+		p.df.f.UnpackRange(r[0], r[1], r[2], r[3], r[4], r[5], in)
+		if !h.copyMode {
+			mpi.PutBuffer(in)
+		}
+		sp.End()
+	}
+}
+
+// deepRoundCoalesced exchanges one axis with one aggregate message per
+// neighbor: all fields' sections packed at fixed offsets in slot order.
+// Combined with the three-round structure this yields exactly one message
+// per neighbor per super-step (each neighbor lies on one axis).
+func (h *halo) deepRoundCoalesced(spec deepSpec, ax grid.Axis) {
+	mask := h.nbrMask()
+	type msg struct {
+		side  int
+		peer  int
+		total int
+		offs  []int
+	}
+	var msgs []msg
+	for side := 0; side < 2; side++ {
+		peer := h.nbr[ax][side]
+		if peer < 0 {
+			continue
+		}
+		m := msg{side: side, peer: peer}
+		for _, df := range spec.fields {
+			r := deepRange(spec.d, mask, spec.zlo, ax, grid.Side(side), df.depth, false)
+			m.offs = append(m.offs, m.total)
+			m.total += rangeLen(r)
+		}
+		msgs = append(msgs, m)
+	}
+	if len(msgs) == 0 {
+		return
+	}
+
+	recvReqs := make([]*mpi.Request, len(msgs))
+	recvBufs := make([][]float32, len(msgs))
+	for mi, m := range msgs {
+		rt := dctag(ax, m.side == 0)
+		if h.copyMode {
+			recvBufs[mi] = h.buf(dckeyRecv(ax, m.side), m.total)
+			recvReqs[mi] = h.comm.Irecv(recvBufs[mi], m.peer, rt)
+		} else {
+			recvReqs[mi] = h.comm.IrecvTake(m.peer, rt)
+		}
+	}
+
+	sendBufs := make([][]float32, len(msgs))
+	for mi, m := range msgs {
+		if h.copyMode {
+			sendBufs[mi] = h.buf(dckeySend(ax, m.side), m.total)
+		} else {
+			sendBufs[mi] = mpi.GetBuffer(m.total)
+		}
+	}
+	sp := h.tel.Span(telemetry.Pack)
+	nf := len(spec.fields)
+	h.pool.ForEachN(len(msgs)*nf, func(t int) {
+		mi, fi := t/nf, t%nf
+		m := &msgs[mi]
+		df := spec.fields[fi]
+		r := deepRange(spec.d, mask, spec.zlo, ax, grid.Side(m.side), df.depth, false)
+		n := rangeLen(r)
+		df.f.PackRange(r[0], r[1], r[2], r[3], r[4], r[5], sendBufs[mi][m.offs[fi]:m.offs[fi]+n])
+	})
+	sp.End()
+	sp = h.tel.Span(telemetry.Send)
+	for mi, m := range msgs {
+		st := dctag(ax, m.side == 1)
+		if h.copyMode {
+			h.comm.Isend(m.peer, st, sendBufs[mi])
+		} else {
+			h.comm.IsendOwned(m.peer, st, sendBufs[mi])
+		}
+	}
+	sp.End()
+
+	sp = h.tel.Span(telemetry.Recv)
+	for mi := range msgs {
+		recvReqs[mi].Wait()
+		if !h.copyMode {
+			recvBufs[mi] = recvReqs[mi].Data()
+		}
+	}
+	sp.End()
+	sp = h.tel.Span(telemetry.Unpack)
+	h.pool.ForEachN(len(msgs)*nf, func(t int) {
+		mi, fi := t/nf, t%nf
+		m := &msgs[mi]
+		df := spec.fields[fi]
+		r := deepRange(spec.d, mask, spec.zlo, ax, grid.Side(m.side), df.depth, true)
+		n := rangeLen(r)
+		df.f.UnpackRange(r[0], r[1], r[2], r[3], r[4], r[5], recvBufs[mi][m.offs[fi]:m.offs[fi]+n])
+	})
+	if !h.copyMode {
+		for mi := range recvBufs {
+			mpi.PutBuffer(recvBufs[mi])
+		}
+	}
+	sp.End()
+}
+
+// TemporalHaloStats returns the halo traffic of ONE super-step at temporal
+// depth T for a rank with the given subgrid and neighbor mask. Per-step
+// figures are these divided by T — the ~T-fold message reduction the
+// perfmodel's per-message term prices. VelMsgs counts velocity-field
+// messages and StressMsgs the stress and memory-variable messages; when
+// coalesced the single aggregate per neighbor is counted under VelMsgs.
+// The reduced stress axis set does not apply to the deep exchange (the
+// recomputed extension cells mix derivative axes), so the stats are
+// comm-model independent.
+func TemporalHaloStats(d grid.Dims, nbrMask [3][2]bool, coalesced bool, T int, atten, freeSurface bool) MessageStats {
+	depths := make([]int, 0, 15)
+	for slot := 0; slot < 9; slot++ {
+		if slot < 3 {
+			depths = append(depths, fd.VelDepth(T))
+		} else {
+			depths = append(depths, fd.StressDepth(T))
+		}
+	}
+	if atten {
+		for i := 0; i < 6; i++ {
+			depths = append(depths, fd.MemvarDepth(T))
+		}
+	}
+	zlo := 0
+	if freeSurface {
+		zlo = -grid.Ghost
+	}
+	var st MessageStats
+	for ax := grid.X; ax <= grid.Z; ax++ {
+		for side := 0; side < 2; side++ {
+			if !nbrMask[int(ax)][side] {
+				continue
+			}
+			for slot, df := range depths {
+				r := deepRange(d, nbrMask, zlo, ax, grid.Side(side), df, false)
+				st.Floats += rangeLen(r)
+				if !coalesced {
+					if slot < 3 {
+						st.VelMsgs++
+					} else {
+						st.StressMsgs++
+					}
+				}
+			}
+			if coalesced {
+				st.VelMsgs++
+			}
+		}
+	}
+	return st
+}

@@ -32,6 +32,7 @@ package ft
 import (
 	"errors"
 	"fmt"
+	"log"
 	"sync"
 	"sync/atomic"
 
@@ -205,6 +206,15 @@ func RunWorld(o WorldOptions) (*solver.Result, WorldStats, error) {
 	if err != nil {
 		return nil, WorldStats{}, err
 	}
+	// Checkpoints must land on super-step boundaries: mid-super-step
+	// wavefield states never exist, so an off-boundary cadence could not
+	// be honored (and rollback targets must divide by the depth).
+	if T := opt.TemporalDepth; T > 1 && o.Interval%T != 0 {
+		rounded := (o.Interval/T + 1) * T
+		log.Printf("ft: checkpoint interval %d is not a multiple of TemporalDepth %d; rounding up to %d",
+			o.Interval, T, rounded)
+		o.Interval = rounded
+	}
 	world := mpi.NewWorld(opt.Topo.Size())
 	if o.Chaos != nil {
 		world.InjectChaos(*o.Chaos)
@@ -317,8 +327,12 @@ func (h *rankHarness) run() (*solver.Result, error) {
 				lerr := checkpoint.Load(h.fs, h.dir, h.comm.Rank(), dec.step,
 					st.State(), st.Atten())
 				if lerr == nil {
-					h.replayed.Add(int64(st.StepIndex() - dec.step))
-					st.SetStepIndex(dec.step)
+					prev := st.StepIndex()
+					if serr := st.SetStepIndex(dec.step); serr != nil {
+						lerr = serr
+					} else {
+						h.replayed.Add(int64(prev - dec.step))
+					}
 				}
 				sp.End()
 				if lerr != nil {

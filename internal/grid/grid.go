@@ -27,33 +27,48 @@ func (d Dims) Valid() bool { return d.NX > 0 && d.NY > 0 && d.NZ > 0 }
 
 func (d Dims) String() string { return fmt.Sprintf("%dx%dx%d", d.NX, d.NY, d.NZ) }
 
-// Field3 is a 3D scalar field of float32 with Ghost-wide padding.
-// Interior indices run i in [0,NX), j in [0,NY), k in [0,NZ); ghost
-// indices extend to [-Ghost, N+Ghost). The backing slice is contiguous
-// with x fastest, then y, then z.
+// Field3 is a 3D scalar field of float32 with ghost padding (Ghost wide
+// by default, deeper for temporally tiled fields). Interior indices run
+// i in [0,NX), j in [0,NY), k in [0,NZ); ghost indices extend to
+// [-G(), N+G()). The backing slice is contiguous with x fastest, then y,
+// then z.
 type Field3 struct {
 	Dims
+	g          int // ghost width on every face
 	sx, sy, sz int // padded extents
 	data       []float32
 }
 
-// NewField3 allocates a zeroed field with the given interior dims.
-func NewField3(d Dims) *Field3 {
+// NewField3 allocates a zeroed field with the given interior dims and the
+// default Ghost padding width.
+func NewField3(d Dims) *Field3 { return NewField3G(d, Ghost) }
+
+// NewField3G allocates a zeroed field with a caller-chosen ghost width.
+// Time-tiled execution uses deeper ghosts (4T planes for temporal depth T)
+// so a whole super-step of stencil erosion stays local between exchanges.
+func NewField3G(d Dims, ghost int) *Field3 {
 	if !d.Valid() {
 		panic(fmt.Sprintf("grid: invalid dims %v", d))
 	}
-	sx, sy, sz := d.NX+2*Ghost, d.NY+2*Ghost, d.NZ+2*Ghost
+	if ghost < Ghost {
+		panic(fmt.Sprintf("grid: ghost width %d < minimum %d", ghost, Ghost))
+	}
+	sx, sy, sz := d.NX+2*ghost, d.NY+2*ghost, d.NZ+2*ghost
 	return &Field3{
 		Dims: d,
+		g:    ghost,
 		sx:   sx, sy: sy, sz: sz,
 		data: make([]float32, sx*sy*sz),
 	}
 }
 
+// G returns the ghost width of the field.
+func (f *Field3) G() int { return f.g }
+
 // Idx returns the flat index of (i,j,k). Indices may range over the ghost
-// region [-Ghost, N+Ghost).
+// region [-G(), N+G()).
 func (f *Field3) Idx(i, j, k int) int {
-	return ((k+Ghost)*f.sy+(j+Ghost))*f.sx + (i + Ghost)
+	return ((k+f.g)*f.sy+(j+f.g))*f.sx + (i + f.g)
 }
 
 // At returns the value at (i,j,k).
@@ -87,17 +102,17 @@ func (f *Field3) Fill(v float32) {
 func (f *Field3) Zero() { f.Fill(0) }
 
 // CopyFrom copies the full padded contents of src, which must have
-// identical dims.
+// identical dims and ghost width.
 func (f *Field3) CopyFrom(src *Field3) {
-	if f.Dims != src.Dims {
-		panic(fmt.Sprintf("grid: CopyFrom dims mismatch %v != %v", f.Dims, src.Dims))
+	if f.Dims != src.Dims || f.g != src.g {
+		panic(fmt.Sprintf("grid: CopyFrom mismatch %v/g%d != %v/g%d", f.Dims, f.g, src.Dims, src.g))
 	}
 	copy(f.data, src.data)
 }
 
-// Clone returns a deep copy of f.
+// Clone returns a deep copy of f, preserving its ghost width.
 func (f *Field3) Clone() *Field3 {
-	g := NewField3(f.Dims)
+	g := NewField3G(f.Dims, f.g)
 	copy(g.data, f.data)
 	return g
 }
@@ -216,6 +231,28 @@ func (f *Field3) PackFaceAt(ax Axis, sd Side, count int, dst []float32, off int)
 func (f *Field3) UnpackFaceAt(ax Axis, sd Side, count int, src []float32, off int) int {
 	n := f.FaceLen(ax, count)
 	return f.UnpackFace(ax, sd, count, src[off:off+n])
+}
+
+// RangeLen returns the number of values in the block
+// [i0,i1)x[j0,j1)x[k0,k1).
+func RangeLen(i0, i1, j0, j1, k0, k1 int) int {
+	return (i1 - i0) * (j1 - j0) * (k1 - k0)
+}
+
+// PackRange copies the block [i0,i1)x[j0,j1)x[k0,k1) — which may extend
+// into the ghost region — into dst in x-fastest order and returns the
+// number of values written. It is the depth-parameterized pack primitive
+// used by the super-step halo exchange, where cross-sections extend into
+// already-filled ghosts of earlier exchange rounds.
+func (f *Field3) PackRange(i0, i1, j0, j1, k0, k1 int, dst []float32) int {
+	return f.copyBlock(i0, i1, j0, j1, k0, k1, dst, true)
+}
+
+// UnpackRange copies src (x-fastest order) into the block
+// [i0,i1)x[j0,j1)x[k0,k1), which may extend into the ghost region, and
+// returns the number of values consumed.
+func (f *Field3) UnpackRange(i0, i1, j0, j1, k0, k1 int, src []float32) int {
+	return f.copyBlock(i0, i1, j0, j1, k0, k1, src, false)
 }
 
 // copyBlock copies the block [i0,i1)x[j0,j1)x[k0,k1) to buf (pack=true)

@@ -45,6 +45,14 @@ type Job struct {
 	// (field, axis, side), shrinking the per-message latency term of Eq. 7
 	// while leaving the byte volume unchanged.
 	CoalescedComm bool
+	// TemporalDepth T > 1 models the time-tiled engine (solver ttile.go):
+	// one deep halo exchange per T-step super-step instead of two 2-plane
+	// exchanges per step. The per-message latency term of Eq. 7 drops
+	// ~T-fold per step (with coalescing, to one message per neighbor per
+	// super-step); the byte volume per step grows, because the deep halo
+	// ships (4T-2)-, 4T- and (4T-4)-plane sections of the velocity, stress
+	// and attenuation memory-variable fields.
+	TemporalDepth int
 }
 
 // Breakdown is the Eq. 7 decomposition of one time step, in seconds.
@@ -128,6 +136,24 @@ func StepTime(j Job) Breakdown {
 	if j.CoalescedComm {
 		msgsStep = 12
 		nMsgsPerPhase = 2 * (1 + 3) // one aggregate per side: velocity + 3 stress axes
+	}
+	if j.TemporalDepth > 1 {
+		// Time-tiled super-steps: one exchange per T steps, full field set
+		// (no reduced stress axes — the recomputed extensions mix
+		// derivative axes) plus the six memory variables. Amortized per
+		// step, the latency term shrinks ~T-fold while the volume grows.
+		T := float64(j.TemporalDepth)
+		deepPlanes := (3*(4*T-2) + 6*(4*T) + 6*(4*T-4)) / T // per side, per step
+		bytesX = 2 * deepPlanes * ny * nz * 4
+		bytesY = 2 * deepPlanes * nx * nz * 4
+		bytesZ = 2 * deepPlanes * nx * ny * 4
+		if j.CoalescedComm {
+			msgsStep = 6 / T // one message per neighbor per super-step
+			nMsgsPerPhase = 2
+		} else {
+			msgsStep = 15 * 6 / T
+			nMsgsPerPhase = 2 * 15
+		}
 	}
 
 	if v.Async {

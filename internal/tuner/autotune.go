@@ -29,10 +29,14 @@ import (
 
 // KernelChoice is the autotuned kernel configuration.
 type KernelChoice struct {
-	Variant   fd.Variant
-	Blocking  fd.Blocking
-	NsPerCell float64 // measured cost of the winning configuration
-	FromCache bool    // true when loaded from the profile without re-benchmarking
+	Variant  fd.Variant
+	Blocking fd.Blocking
+	// TemporalDepth is the autotuned super-step length: 1 is classic
+	// stepping; T > 1 runs the time-skewed chunk sweep (fd.SuperStepSweep)
+	// that keeps each k-chunk cache-resident for T steps.
+	TemporalDepth int
+	NsPerCell     float64 // measured cost per cell per step of the winner
+	FromCache     bool    // true when loaded from the profile without re-benchmarking
 }
 
 // KernelSample is one micro-benchmark measurement of the sweep.
@@ -40,6 +44,7 @@ type KernelSample struct {
 	Variant   string  `json:"variant"`
 	JBlock    int     `json:"jblock"`
 	KBlock    int     `json:"kblock"`
+	TDepth    int     `json:"tdepth"`
 	NsPerCell float64 `json:"ns_per_cell"`
 }
 
@@ -62,9 +67,9 @@ type AutotuneOptions struct {
 	// for smoke tests and CI, not production tuning.
 	Quick bool
 
-	// benchFn replaces the micro-benchmark in tests; it returns ns/cell for
-	// one candidate.
-	benchFn func(v fd.Variant, blk fd.Blocking) float64
+	// benchFn replaces the micro-benchmark in tests; it returns ns/cell/step
+	// for one candidate.
+	benchFn func(v fd.Variant, blk fd.Blocking, tdepth int) float64
 }
 
 // profileEntry is the cached winner for one key.
@@ -72,14 +77,23 @@ type profileEntry struct {
 	Variant   string         `json:"variant"`
 	JBlock    int            `json:"jblock"`
 	KBlock    int            `json:"kblock"`
+	TDepth    int            `json:"tdepth"`
 	NsPerCell float64        `json:"ns_per_cell"`
 	Samples   []KernelSample `json:"samples,omitempty"`
 	CreatedAt string         `json:"created_at,omitempty"`
 }
 
+// profileVersion is the on-disk profile format version. Bump it whenever
+// the entry schema or the meaning of a key changes (v2 added the temporal
+// depth dimension); a profile with any other version — including the
+// implicit 0 of pre-versioning files — is treated as a cache miss and
+// rewritten, never migrated or trusted.
+const profileVersion = 2
+
 // kernelProfile is the on-disk JSON profile: one entry per machine-visible
 // configuration key.
 type kernelProfile struct {
+	Version int                     `json:"version"`
 	Entries map[string]profileEntry `json:"entries"`
 }
 
@@ -118,13 +132,17 @@ func autotuneCandidates(quick bool) []KernelChoice {
 		{JBlock: 16, KBlock: 32},
 		{JBlock: 32, KBlock: 32},
 	}
+	depths := []int{1, 2, 4}
 	if quick {
 		blockings = []fd.Blocking{{JBlock: 8, KBlock: 16}, {JBlock: 16, KBlock: 16}}
+		depths = []int{1, 2}
 	}
 	var out []KernelChoice
 	for _, v := range variants {
 		for _, b := range blockings {
-			out = append(out, KernelChoice{Variant: v, Blocking: b})
+			for _, td := range depths {
+				out = append(out, KernelChoice{Variant: v, Blocking: b, TemporalDepth: td})
+			}
 		}
 	}
 	return out
@@ -154,15 +172,16 @@ func AutotuneKernels(opt AutotuneOptions) (KernelChoice, []KernelSample, error) 
 
 	prof := loadProfile(path)
 	if e, ok := prof.Entries[key]; ok {
-		if v, err := fd.ParseVariant(e.Variant); err == nil {
+		if v, err := fd.ParseVariant(e.Variant); err == nil && e.TDepth >= 1 {
 			return KernelChoice{
-				Variant:   v,
-				Blocking:  fd.Blocking{JBlock: e.JBlock, KBlock: e.KBlock},
-				NsPerCell: e.NsPerCell,
-				FromCache: true,
+				Variant:       v,
+				Blocking:      fd.Blocking{JBlock: e.JBlock, KBlock: e.KBlock},
+				TemporalDepth: e.TDepth,
+				NsPerCell:     e.NsPerCell,
+				FromCache:     true,
 			}, e.Samples, nil
 		}
-		// Unknown variant name (older/newer profile format): re-benchmark.
+		// Unknown variant name or invalid depth: re-benchmark.
 	}
 
 	bench := opt.benchFn
@@ -177,22 +196,24 @@ func AutotuneKernels(opt AutotuneOptions) (KernelChoice, []KernelSample, error) 
 			return KernelChoice{}, nil, err
 		}
 		defer env.close()
-		bench = func(v fd.Variant, blk fd.Blocking) float64 {
-			return env.measure(v, blk, reps)
+		bench = func(v fd.Variant, blk fd.Blocking, tdepth int) float64 {
+			return env.measure(v, blk, tdepth, reps)
 		}
 	}
 
 	best := KernelChoice{NsPerCell: math.Inf(1)}
 	var samples []KernelSample
 	for _, cand := range autotuneCandidates(opt.Quick) {
-		ns := bench(cand.Variant, cand.Blocking)
+		ns := bench(cand.Variant, cand.Blocking, cand.TemporalDepth)
 		samples = append(samples, KernelSample{
 			Variant: cand.Variant.String(),
 			JBlock:  cand.Blocking.JBlock, KBlock: cand.Blocking.KBlock,
+			TDepth:    cand.TemporalDepth,
 			NsPerCell: ns,
 		})
 		if ns < best.NsPerCell {
-			best = KernelChoice{Variant: cand.Variant, Blocking: cand.Blocking, NsPerCell: ns}
+			best = cand
+			best.NsPerCell = ns
 		}
 	}
 	if math.IsInf(best.NsPerCell, 1) {
@@ -205,6 +226,7 @@ func AutotuneKernels(opt AutotuneOptions) (KernelChoice, []KernelSample, error) 
 	prof.Entries[key] = profileEntry{
 		Variant: best.Variant.String(),
 		JBlock:  best.Blocking.JBlock, KBlock: best.Blocking.KBlock,
+		TDepth:    best.TemporalDepth,
 		NsPerCell: best.NsPerCell,
 		Samples:   samples,
 		CreatedAt: time.Now().UTC().Format(time.RFC3339),
@@ -217,22 +239,25 @@ func AutotuneKernels(opt AutotuneOptions) (KernelChoice, []KernelSample, error) 
 	return best, samples, nil
 }
 
-// loadProfile reads the profile, returning an empty one on any error (the
-// profile is a cache, never a source of truth).
+// loadProfile reads the profile, returning an empty one on any error or on
+// a format-version mismatch (the profile is a cache, never a source of
+// truth; an unknown version — older or newer — is a miss, not an error).
 func loadProfile(path string) kernelProfile {
 	var p kernelProfile
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return p
 	}
-	if json.Unmarshal(data, &p) != nil {
+	if json.Unmarshal(data, &p) != nil || p.Version != profileVersion {
 		return kernelProfile{}
 	}
 	return p
 }
 
-// saveProfile writes the profile atomically (temp file + rename).
+// saveProfile writes the profile atomically (temp file + rename), always
+// stamping the current format version.
 func saveProfile(path string, p kernelProfile) error {
+	p.Version = profileVersion
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return err
 	}
@@ -303,27 +328,45 @@ func newBenchEnv(d grid.Dims, threads int, useAtten bool) (*benchEnv, error) {
 
 func (e *benchEnv) close() { e.pool.Close() }
 
-// measure times one full velocity+stress(+attenuation) sweep for the
-// candidate, returning the best ns/cell over reps timed repetitions (after
-// one warmup). Using the minimum rejects scheduler noise — the quantity of
-// interest is the kernel's cost, not the machine's worst case.
-func (e *benchEnv) measure(v fd.Variant, blk fd.Blocking, reps int) float64 {
+// measure times the candidate and returns the best ns/cell/step over reps
+// timed repetitions (after one warmup). Using the minimum rejects
+// scheduler noise — the quantity of interest is the kernel's cost, not
+// the machine's worst case. At tdepth 1 a repetition is one full
+// velocity+stress(+attenuation) sweep; at tdepth > 1 it is one
+// time-skewed super-step (fd.SuperStepSweep) advancing tdepth steps, and
+// the measured time is divided by tdepth so depths rank on equal terms.
+func (e *benchEnv) measure(v fd.Variant, blk fd.Blocking, tdepth, reps int) float64 {
 	box := fd.FullBox(e.dims)
-	step := func() {
-		fd.UpdateVelocityTiled(e.state, e.med, e.dt, box, v, blk, e.pool)
+	velocity := func(b fd.Box) {
+		fd.UpdateVelocityTiled(e.state, e.med, e.dt, b, v, blk, e.pool)
+	}
+	stress := func(b fd.Box) {
 		if e.atten != nil {
 			if v == fd.Fused {
-				e.atten.FusedStressTiled(e.state, e.med, e.dt, box, blk, e.pool)
+				e.atten.FusedStressTiled(e.state, e.med, e.dt, b, blk, e.pool)
 			} else {
-				fd.UpdateStressTiled(e.state, e.med, e.dt, box, v, blk, e.pool)
-				e.atten.ApplyTiled(e.state, e.med, e.dt, box, blk, e.pool)
+				fd.UpdateStressTiled(e.state, e.med, e.dt, b, v, blk, e.pool)
+				e.atten.ApplyTiled(e.state, e.med, e.dt, b, blk, e.pool)
 			}
 		} else {
-			fd.UpdateStressTiled(e.state, e.med, e.dt, box, v, blk, e.pool)
+			fd.UpdateStressTiled(e.state, e.med, e.dt, b, v, blk, e.pool)
+		}
+	}
+	nsteps := 1.0
+	var step func()
+	if tdepth <= 1 {
+		step = func() {
+			velocity(box)
+			stress(box)
+		}
+	} else {
+		nsteps = float64(tdepth)
+		step = func() {
+			fd.SuperStepSweep(e.dims, tdepth, blk.KBlock, velocity, stress)
 		}
 	}
 	step() // warmup: page in fields, settle the pool
-	cells := float64(box.Cells())
+	cells := float64(box.Cells()) * nsteps
 	best := math.Inf(1)
 	for r := 0; r < reps; r++ {
 		t0 := time.Now()

@@ -20,15 +20,18 @@ func TestAutotuneRoundTrip(t *testing.T) {
 		Dims:      grid.Dims{NX: 96, NY: 80, NZ: 64},
 		Threads:   4,
 		CachePath: cache,
-		benchFn: func(v fd.Variant, blk fd.Blocking) float64 {
+		benchFn: func(v fd.Variant, blk fd.Blocking, tdepth int) float64 {
 			calls++
-			// Craft a clear winner: Fused {16,16}.
+			// Craft a clear winner: Fused {16,16} at depth 2.
 			cost := 10.0
 			if v == fd.Fused {
 				cost = 5.0
 			}
 			if v == fd.Fused && blk.JBlock == 16 && blk.KBlock == 16 {
-				cost = 1.0
+				cost = 2.0
+				if tdepth == 2 {
+					cost = 1.0
+				}
 			}
 			return cost
 		},
@@ -43,8 +46,9 @@ func TestAutotuneRoundTrip(t *testing.T) {
 	if choice.FromCache {
 		t.Fatal("cold-cache choice reported FromCache")
 	}
-	if choice.Variant != fd.Fused || choice.Blocking.JBlock != 16 || choice.Blocking.KBlock != 16 {
-		t.Fatalf("wrong winner: %v %+v", choice.Variant, choice.Blocking)
+	if choice.Variant != fd.Fused || choice.Blocking.JBlock != 16 ||
+		choice.Blocking.KBlock != 16 || choice.TemporalDepth != 2 {
+		t.Fatalf("wrong winner: %v %+v depth %d", choice.Variant, choice.Blocking, choice.TemporalDepth)
 	}
 	if len(samples) != len(autotuneCandidates(false)) {
 		t.Fatalf("expected %d samples, got %d", len(autotuneCandidates(false)), len(samples))
@@ -61,7 +65,8 @@ func TestAutotuneRoundTrip(t *testing.T) {
 	if !cached.FromCache {
 		t.Fatal("warm-cache choice not reported FromCache")
 	}
-	if cached.Variant != choice.Variant || cached.Blocking != choice.Blocking || cached.NsPerCell != choice.NsPerCell {
+	if cached.Variant != choice.Variant || cached.Blocking != choice.Blocking ||
+		cached.TemporalDepth != choice.TemporalDepth || cached.NsPerCell != choice.NsPerCell {
 		t.Fatalf("cached choice %+v differs from original %+v", cached, choice)
 	}
 	if len(samples2) != len(samples) {
@@ -76,7 +81,7 @@ func TestAutotuneKeySeparation(t *testing.T) {
 	mk := func(d grid.Dims, threads int, atten bool) AutotuneOptions {
 		return AutotuneOptions{
 			Dims: d, Threads: threads, Attenuation: atten, CachePath: cache,
-			benchFn: func(fd.Variant, fd.Blocking) float64 { calls++; return 1 },
+			benchFn: func(fd.Variant, fd.Blocking, int) float64 { calls++; return 1 },
 		}
 	}
 	base := grid.Dims{NX: 32, NY: 32, NZ: 32}
@@ -113,7 +118,7 @@ func TestAutotuneCorruptProfile(t *testing.T) {
 	calls := 0
 	opt := AutotuneOptions{
 		Dims: grid.Dims{NX: 16, NY: 16, NZ: 16}, Threads: 1, CachePath: cache,
-		benchFn: func(fd.Variant, fd.Blocking) float64 { calls++; return 1 },
+		benchFn: func(fd.Variant, fd.Blocking, int) float64 { calls++; return 1 },
 	}
 	if _, _, err := AutotuneKernels(opt); err != nil {
 		t.Fatal(err)
@@ -184,5 +189,56 @@ func TestDefaultProfilePath(t *testing.T) {
 	}
 	if filepath.Base(p) != "kernel-profile.json" {
 		t.Fatalf("unexpected profile path %q", p)
+	}
+}
+
+// A profile with an unknown format version — older (including the
+// implicit 0 of pre-versioning files) or newer — is a cache miss, and the
+// rewrite stamps the current version.
+func TestAutotuneProfileVersionMismatch(t *testing.T) {
+	cache := filepath.Join(t.TempDir(), "profile.json")
+	calls := 0
+	opt := AutotuneOptions{
+		Dims: grid.Dims{NX: 16, NY: 16, NZ: 16}, Threads: 1, CachePath: cache,
+		benchFn: func(fd.Variant, fd.Blocking, int) float64 { calls++; return 1 },
+	}
+	if _, _, err := AutotuneKernels(opt); err != nil {
+		t.Fatal(err)
+	}
+	for _, version := range []int{0, profileVersion - 1, profileVersion + 1} {
+		data, err := os.ReadFile(cache)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var p kernelProfile
+		if err := json.Unmarshal(data, &p); err != nil {
+			t.Fatal(err)
+		}
+		if p.Version != profileVersion {
+			t.Fatalf("saved profile has version %d, want %d", p.Version, profileVersion)
+		}
+		p.Version = version
+		forged, err := json.Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(cache, forged, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		before := calls
+		if _, _, err := AutotuneKernels(opt); err != nil {
+			t.Fatal(err)
+		}
+		if calls == before {
+			t.Fatalf("profile version %d treated as a hit", version)
+		}
+	}
+	// After the rewrites the current version must hit again.
+	before := calls
+	if _, _, err := AutotuneKernels(opt); err != nil {
+		t.Fatal(err)
+	}
+	if calls != before {
+		t.Fatal("rewritten current-version profile missed")
 	}
 }
