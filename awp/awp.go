@@ -86,8 +86,27 @@ const (
 type Scenario struct {
 	Dims  Dims
 	H     float64 // grid spacing, m
-	Dt    float64 // 0: automatic at CFL 0.5
+	Dt    float64 // 0: automatic at the CFL safety factor; negative rejected
 	Steps int
+
+	// CFL is the safety factor for the automatic time step (and for LTS
+	// rate assignment). 0 defaults to the historical 0.5; explicit values
+	// must lie in (0, 1].
+	CFL float64
+
+	// LTS enables multi-rate local time stepping: ranks whose subgrid
+	// medium admits a larger stable step advance with dt*2^k (k capped by
+	// LTSMaxK), exchanging rate-boundary halos through time-interpolated
+	// ghost sections, and the decomposition places work-weighted cuts
+	// from a velocity-model scan. Runs whose assigned rates are all 1 are
+	// bit-identical to LTS off; mixed-rate runs trade rate-boundary
+	// accuracy for wall-clock (see DESIGN.md section 12). Mutually
+	// exclusive with explicit TemporalDepth > 1, M-PML and DFR mode.
+	LTS bool
+	// LTSMaxK caps the rate exponent (rates up to 2^LTSMaxK); 0 defaults
+	// to 2. LTSMaxRateRatio caps the rate ratio across a rank seam; 0
+	// defaults to 2 (4 allows a rate-1/rate-4 seam).
+	LTSMaxK, LTSMaxRateRatio int
 
 	// Ranks is the number of MPI ranks (goroutines); 0 or 1 runs single
 	// rank. The 3D topology is chosen automatically.
@@ -148,6 +167,9 @@ type Scenario struct {
 
 // Run executes a wave-propagation (AWM) or dynamic-rupture (DFR) scenario.
 func Run(q Model, sc Scenario) (*Result, error) {
+	if sc.Dt < 0 {
+		return nil, fmt.Errorf("awp: Dt must be positive, or zero for automatic; got %g", sc.Dt)
+	}
 	if sc.SpongeWidth <= 0 {
 		sc.SpongeWidth = 8
 	}
@@ -168,6 +190,7 @@ func Run(q Model, sc Scenario) (*Result, error) {
 		Global:        sc.Dims,
 		H:             sc.H,
 		Dt:            sc.Dt,
+		CFL:           sc.CFL,
 		Steps:         sc.Steps,
 		Topo:          topo,
 		Comm:          sc.Comm,
@@ -186,6 +209,12 @@ func Run(q Model, sc Scenario) (*Result, error) {
 		Receivers:     sc.Receivers,
 		TrackPGV:      sc.TrackPGV,
 		Telemetry:     sc.Telemetry,
+		LTS: solver.LTSOptions{
+			Enabled:      sc.LTS,
+			MaxK:         sc.LTSMaxK,
+			MaxRateRatio: sc.LTSMaxRateRatio,
+			WorkBalance:  true,
+		},
 	}
 	return solver.Run(q, opt)
 }
@@ -212,6 +241,7 @@ func resolveKernel(sc Scenario, topo mpi.Cart) (fd.Variant, fd.Blocking, int, er
 			Dims:        dc.SubFor(0).Local,
 			Threads:     threads,
 			Attenuation: sc.Attenuation,
+			LTS:         sc.LTS,
 			CachePath:   sc.TunerCachePath,
 		})
 		if err != nil {
@@ -233,6 +263,12 @@ func resolveKernel(sc Scenario, topo mpi.Cart) (fd.Variant, fd.Blocking, int, er
 	}
 	if sc.TemporalDepth > 0 {
 		tdepth = sc.TemporalDepth
+	}
+	// LTS replaces super-stepping: a tuned depth > 1 silently falls back
+	// to 1 (an explicit TemporalDepth > 1 is left to error in the solver,
+	// since the user asked for two conflicting schemes).
+	if sc.LTS && sc.TemporalDepth <= 0 {
+		tdepth = 1
 	}
 	if tdepth > 1 && !temporalDepthOK(sc, topo) {
 		tdepth = 1

@@ -204,3 +204,116 @@ func TestScenarioBlockingOverride(t *testing.T) {
 		}
 	}
 }
+
+// TestNegativeDtRejected pins the Scenario-layer validation (the solver
+// layer has its own identical check).
+func TestNegativeDtRejected(t *testing.T) {
+	q := HomogeneousModel(Material{Vp: 6000, Vs: 3464, Rho: 2700})
+	_, err := Run(q, Scenario{
+		Dims: Dims{NX: 16, NY: 16, NZ: 12},
+		H:    100, Dt: -0.001, Steps: 4,
+		ABC: SpongeABC,
+	})
+	if err == nil {
+		t.Fatal("negative Dt accepted")
+	}
+}
+
+// TestScenarioCFL checks the CFL pass-through: an out-of-range value is
+// rejected by the solver, and an explicit 0.5 matches the default run.
+func TestScenarioCFL(t *testing.T) {
+	q := HomogeneousModel(Material{Vp: 6000, Vs: 3464, Rho: 2700})
+	sc := Scenario{
+		Dims: Dims{NX: 16, NY: 16, NZ: 12},
+		H:    100, Steps: 8,
+		ABC:       SpongeABC,
+		Sources:   ExplosionSource(8, 8, 6, 1e15, 0.06, 0.015),
+		Receivers: [][3]int{{4, 8, 4}},
+	}
+	bad := sc
+	bad.CFL = 2
+	if _, err := Run(q, bad); err == nil {
+		t.Fatal("CFL 2 accepted")
+	}
+	ref, err := Run(q, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.CFL = 0.5
+	res, err := Run(q, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range ref.Seismograms[0] {
+		if v != res.Seismograms[0][i] {
+			t.Fatalf("CFL 0.5 diverges from default at sample %d", i)
+		}
+	}
+}
+
+// TestScenarioLTS runs a basin-over-rock contrast through the public API
+// with LTS on and off; a uniform medium under LTS must stay bit-identical.
+func TestScenarioLTS(t *testing.T) {
+	mk := func(lts bool) Scenario {
+		return Scenario{
+			Dims: Dims{NX: 32, NY: 12, NZ: 12},
+			H:    100, Steps: 32,
+			Ranks:       2,
+			ABC:         SpongeABC,
+			FreeSurface: true,
+			LTS:         lts,
+			Sources:     ExplosionSource(8, 6, 6, 1e15, 0.06, 0.015),
+			Receivers:   [][3]int{{8, 6, 3}, {24, 6, 3}},
+			TrackPGV:    true,
+		}
+	}
+	uni := HomogeneousModel(Material{Vp: 6000, Vs: 3464, Rho: 2700})
+	ref, err := Run(uni, mk(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(uni, mk(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range ref.Seismograms {
+		for i, v := range ref.Seismograms[r] {
+			if v != res.Seismograms[r][i] {
+				t.Fatalf("uniform-medium LTS diverges at receiver %d sample %d", r, i)
+			}
+		}
+	}
+
+	// Mixed medium: must run and produce finite motion at both receivers.
+	mixed := &laterallySplitModel{
+		split: 16 * 100,
+		rock:  Material{Vp: 5200, Vs: 3000, Rho: 2700},
+		soft:  Material{Vp: 1200, Vs: 700, Rho: 1900},
+	}
+	mres, err := Run(mixed, mk(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range mres.Seismograms {
+		for i, v := range mres.Seismograms[r] {
+			for c := 0; c < 3; c++ {
+				if math.IsNaN(float64(v[c])) {
+					t.Fatalf("NaN at receiver %d sample %d", r, i)
+				}
+			}
+		}
+	}
+}
+
+// laterallySplitModel is rock for x < split, soft beyond.
+type laterallySplitModel struct {
+	split      float64
+	rock, soft Material
+}
+
+func (m *laterallySplitModel) Query(x, _, _ float64) Material {
+	if x < m.split {
+		return m.rock
+	}
+	return m.soft
+}

@@ -29,6 +29,10 @@ func main() {
 	kblock := flag.Int("kblock", 0, "cache-blocking tile extent in k (0: default or autotuned)")
 	tdepth := flag.Int("tdepth", 0, "temporal tiling depth: steps per deep halo exchange, 1|2|4 (0: 1 or autotuned)")
 	tunerCache := flag.String("tuner-cache", "", "kernel autotuner profile path (default: per-user cache dir)")
+	cfl := flag.Float64("cfl", 0, "CFL safety factor for the automatic time step, in (0, 1] (0: 0.5)")
+	lts := flag.Bool("lts", false, "multi-rate local time stepping: slow-medium ranks advance with dt*2^k and work-weighted cuts")
+	ltsMaxK := flag.Int("lts-max-k", 0, "LTS rate-exponent cap: rates up to 2^k, 1|2 (0: 2)")
+	ltsMaxRatio := flag.Int("lts-max-ratio", 0, "LTS max rate ratio across a rank seam, 2|4 (0: 2)")
 	mw := flag.Float64("m0", 1e16, "seismic moment, N*m")
 	srcI := flag.Int("si", -1, "source i (default center)")
 	srcJ := flag.Int("sj", -1, "source j (default center)")
@@ -81,6 +85,9 @@ func main() {
 		Variant: *variant, JBlock: *jblock, KBlock: *kblock,
 		TemporalDepth:  *tdepth,
 		TunerCachePath: *tunerCache,
+		CFL:            *cfl,
+		LTS:            *lts,
+		LTSMaxK:        *ltsMaxK, LTSMaxRateRatio: *ltsMaxRatio,
 		FreeSurface:    true, Attenuation: true,
 		Sources:   awp.PointMomentSource(*srcI, *srcJ, *srcK, *mw, 0.3, 0.08),
 		Receivers: [][3]int{{*srcI, *srcJ, 0}, {*nx - 10, *srcJ, 0}},

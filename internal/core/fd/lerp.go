@@ -1,0 +1,15 @@
+package fd
+
+// Lerp fills dst with the linear interpolation a + (b-a)*t, elementwise.
+// It is the per-cell inner loop of the multi-rate LTS rate-boundary
+// ghost blend (solver lts.go), so its body must stay free of per-point
+// bounds checks: the two reslices below are the once-per-call windows
+// that let the prove pass eliminate them (guarded by check_bce.sh).
+func Lerp(dst, a, b []float32, t float32) {
+	a = a[:len(dst)]
+	b = b[:len(dst)]
+	for i := range dst {
+		av := a[i]
+		dst[i] = av + (b[i]-av)*t
+	}
+}

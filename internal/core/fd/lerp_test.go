@@ -1,0 +1,27 @@
+package fd
+
+import "testing"
+
+func TestLerp(t *testing.T) {
+	a := []float32{0, 10, -4, 8}
+	b := []float32{4, 20, 4, 8}
+	dst := make([]float32, 4)
+	Lerp(dst, a, b, 0.25)
+	for i, want := range []float32{1, 12.5, -2, 8} {
+		if dst[i] != want {
+			t.Fatalf("dst[%d] = %g, want %g", i, dst[i], want)
+		}
+	}
+	Lerp(dst, a, b, 1)
+	for i := range b {
+		if dst[i] != b[i] {
+			t.Fatalf("t=1: dst[%d] = %g, want %g", i, dst[i], b[i])
+		}
+	}
+	// dst shorter than the sources: only len(dst) elements touched.
+	short := make([]float32, 2)
+	Lerp(short, a, b, 0)
+	if short[0] != a[0] || short[1] != a[1] {
+		t.Fatalf("t=0 short dst = %v", short)
+	}
+}

@@ -1,0 +1,527 @@
+package solver
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core/fd"
+	"repro/internal/cvm"
+	"repro/internal/grid"
+	"repro/internal/medium"
+	"repro/internal/mpi"
+	"repro/internal/telemetry"
+)
+
+// LTSOptions configures multi-rate local time stepping: ranks whose local
+// medium admits a larger stable step advance with dt·2^k, exchanging
+// halos with faster neighbors through time-interpolated ghost sections.
+// Work drops by the fraction of cells running above rate 1; accuracy at
+// rate boundaries degrades to the linear-in-time interpolation error (and
+// one velocity-ghost time level of lag on the coarse side), which the
+// `-exp lts` benchmark quantifies against the global-dt reference.
+type LTSOptions struct {
+	// Enabled turns the multi-rate schedule on. A run whose assigned
+	// rates are all 1 dispatches to the classic path and is bit-identical
+	// to LTS off.
+	Enabled bool
+	// MaxK caps the rate exponent: ranks step at dt·2^k with k <= MaxK.
+	// 0 defaults to 2 (rates 1/2/4); valid explicit values are 1 and 2.
+	MaxK int
+	// MaxRateRatio caps the step-rate ratio between face neighbors (the
+	// cluster grading constraint). 0 defaults to 2; valid explicit
+	// values are 2 and 4.
+	MaxRateRatio int
+	// WorkBalance requests work-weighted cut placement: partition costs
+	// count cells/rate instead of raw cells, shrinking base-rate
+	// subdomains so the critical path reflects the LTS work reduction.
+	// Run and ft.RunWorld fill PlaneRates via PlanLTS when it is unset.
+	WorkBalance bool
+	// PlaneRates, when non-nil, is consumed by Prepare to place
+	// work-balanced cuts (usually filled by PlanLTS from the velocity
+	// model). Nil axes keep the balanced block distribution.
+	PlaneRates *PlaneRates
+}
+
+// PlaneRates carries per-axis per-plane step-rate estimates for the
+// work-balanced decomposition: X[i] is the rate of the most restrictive
+// cell in global x-plane i, and likewise for Y/Z.
+type PlaneRates struct {
+	X, Y, Z []int
+}
+
+// PlanLTS scans the velocity model once and fills Options.LTS.PlaneRates
+// with per-plane rate estimates for the work-balanced decomposition. It
+// is a no-op unless LTS with WorkBalance is enabled and the rates are not
+// already present. Axes whose planes all share one rate are left nil so a
+// uniform medium keeps the classic block layout (and hence rate-1-only
+// runs stay bit-identical to the classic path).
+func PlanLTS(q cvm.Querier, opt Options) (Options, error) {
+	if !opt.LTS.Enabled || !opt.LTS.WorkBalance || opt.LTS.PlaneRates != nil {
+		return opt, nil
+	}
+	if !opt.Global.Valid() {
+		return opt, fmt.Errorf("solver: PlanLTS needs valid global dims, got %v", opt.Global)
+	}
+	cfl := opt.CFL
+	if cfl == 0 {
+		cfl = 0.5
+	}
+	maxK := opt.LTS.MaxK
+	if maxK == 0 {
+		maxK = 2
+	}
+	nx, ny, nz := opt.Global.NX, opt.Global.NY, opt.Global.NZ
+	maxVpX := make([]float64, nx)
+	maxVpY := make([]float64, ny)
+	maxVpZ := make([]float64, nz)
+	for k := 0; k < nz; k++ {
+		z := float64(k) * opt.H
+		for j := 0; j < ny; j++ {
+			y := float64(j) * opt.H
+			for i := 0; i < nx; i++ {
+				vp := q.Query(float64(i)*opt.H, y, z).Vp
+				if vp > maxVpX[i] {
+					maxVpX[i] = vp
+				}
+				if vp > maxVpY[j] {
+					maxVpY[j] = vp
+				}
+				if vp > maxVpZ[k] {
+					maxVpZ[k] = vp
+				}
+			}
+		}
+	}
+	globalMax := 0.0
+	for _, vp := range maxVpX {
+		if vp > globalMax {
+			globalMax = vp
+		}
+	}
+	if globalMax <= 0 {
+		return opt, fmt.Errorf("solver: PlanLTS found no positive P-wave speed in the model")
+	}
+	baseDt := opt.Dt
+	if baseDt <= 0 {
+		baseDt = medium.StableDtFor(globalMax, opt.H, cfl)
+	}
+	rateOf := func(vps []float64) []int {
+		rates := make([]int, len(vps))
+		mixed := false
+		for i, vp := range vps {
+			rates[i] = ltsRateFor(medium.StableDtFor(vp, opt.H, cfl), baseDt, maxK, opt.Steps)
+			if rates[i] != rates[0] {
+				mixed = true
+			}
+		}
+		if !mixed {
+			return nil
+		}
+		return rates
+	}
+	opt.LTS.PlaneRates = &PlaneRates{X: rateOf(maxVpX), Y: rateOf(maxVpY), Z: rateOf(maxVpZ)}
+	return opt, nil
+}
+
+// ltsRateFor computes the rate-2^k multiplier a subdomain with stable
+// step localDt earns over the base step: the largest power of two <= 2^maxK
+// that both fits under localDt/baseDt and divides the step count (cycles
+// must tile the run exactly; an odd Steps degrades everything to rate 1).
+func ltsRateFor(localDt, baseDt float64, maxK, steps int) int {
+	rate := 1
+	for k := 0; k < maxK; k++ {
+		next := rate * 2
+		if steps%next != 0 || localDt < baseDt*float64(next) {
+			break
+		}
+		rate = next
+	}
+	return rate
+}
+
+// ltsGradeRates enforces the cluster grading constraint in place: no rank
+// may step more than maxRatio times slower than a face neighbor. Rates
+// only decrease (staying powers of two), so the fixpoint terminates; the
+// deterministic sweep order makes every rank compute the identical vector.
+func ltsGradeRates(rates []int, topo mpi.Cart, maxRatio int) {
+	for changed := true; changed; {
+		changed = false
+		for r := range rates {
+			for ax := 0; ax < 3; ax++ {
+				for _, dir := range [2]int{-1, +1} {
+					n := topo.Neighbor(r, ax, dir)
+					if n < 0 {
+						continue
+					}
+					if lim := rates[n] * maxRatio; rates[r] > lim {
+						rates[r] = lim
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// ltsRank is one rank's view of the multi-rate schedule: the global rate
+// vector, this rank's step multiplier, and its face neighbors classified
+// by relative rate. All cross-rate buffering lives on the fine side, so
+// the schedule needs no state that survives a cycle boundary — checkpoint
+// rollback to a cycle boundary replays bit-identically.
+type ltsRank struct {
+	rates   []int // per-rank step-rate multipliers (identical on all ranks)
+	rate    int   // this rank's multiplier
+	maxRate int   // cycle length in base steps
+	baseDt  float64
+	localDt float64 // baseDt * rate
+
+	equal  []ltsNbr        // neighbors at the same rate: classic exchange
+	finer  []ltsNbr        // neighbors stepping more often: this rank is coarse
+	coarse []*ltsCoarseNbr // neighbors stepping less often: window interpolation
+}
+
+type ltsNbr struct {
+	ax   grid.Axis
+	sd   grid.Side
+	peer int
+}
+
+// ltsCoarseNbr buffers one coarse neighbor's face sections over a window
+// of nbRate base steps: Old holds the window-start time level (captured
+// from the ghost region), New the window-end level (received once per
+// window), and ghost fills blend the two linearly in time.
+type ltsCoarseNbr struct {
+	ltsNbr
+	nbRate                 int
+	vOld, vNew, sOld, sNew [][]float32
+	scratch                []float32
+}
+
+// ltsTag builds a unique message tag in the LTS tag space (8192+,
+// disjoint from the per-field, coalesced and temporal-tiling spaces) from
+// exchange phase, the sender's face axis/side, and field slot.
+func ltsTag(phase int, ax grid.Axis, sd grid.Side, field int) int {
+	return 8192 + ((phase*3+int(ax))*2+int(sd))*8 + field
+}
+
+func ltsOpp(sd grid.Side) grid.Side { return 1 - sd }
+
+// newLTSRank assigns rates from the already-extracted media (every rank
+// learns the full per-rank stable-dt vector through one allreduce and
+// derives the identical graded rate vector) and classifies neighbors.
+func newLTSRank(c *mpi.Comm, opt Options, rs *rankState, baseDt float64) *ltsRank {
+	// Zero-filled sentinel with a Max reduction (stable steps are always
+	// positive; an Inf sentinel would not survive the split-float packing
+	// of the reduction payload).
+	vec := make([]float64, c.Size())
+	vec[c.Rank()] = rs.med.StableDt(opt.CFL)
+	dts := c.Allreduce(vec, mpi.Max)
+	rates := make([]int, len(dts))
+	for r, d := range dts {
+		rates[r] = ltsRateFor(d, baseDt, opt.LTS.MaxK, opt.Steps)
+	}
+	ltsGradeRates(rates, opt.Topo, opt.LTS.MaxRateRatio)
+
+	me := c.Rank()
+	l := &ltsRank{rates: rates, rate: rates[me], baseDt: baseDt}
+	for _, r := range rates {
+		if r > l.maxRate {
+			l.maxRate = r
+		}
+	}
+	l.localDt = baseDt * float64(l.rate)
+	for ax := grid.X; ax <= grid.Z; ax++ {
+		for side := 0; side < 2; side++ {
+			dir := -1
+			if side == 1 {
+				dir = +1
+			}
+			peer := opt.Topo.Neighbor(me, int(ax), dir)
+			if peer < 0 {
+				continue
+			}
+			nb := ltsNbr{ax: ax, sd: grid.Side(side), peer: peer}
+			switch {
+			case rates[peer] == l.rate:
+				l.equal = append(l.equal, nb)
+			case rates[peer] < l.rate:
+				l.finer = append(l.finer, nb)
+			default:
+				cn := &ltsCoarseNbr{ltsNbr: nb, nbRate: rates[peer]}
+				n := rs.st.VX.FaceLen(ax, grid.Ghost)
+				alloc := func(k int) [][]float32 {
+					out := make([][]float32, k)
+					for i := range out {
+						out[i] = make([]float32, n)
+					}
+					return out
+				}
+				cn.vOld, cn.vNew = alloc(3), alloc(3)
+				cn.sOld, cn.sNew = alloc(6), alloc(6)
+				cn.scratch = make([]float32, n)
+				l.coarse = append(l.coarse, cn)
+			}
+		}
+	}
+	return l
+}
+
+// ghostExtents returns the loop bounds of the count-deep ghost slab of
+// the (ax, sd) face — the region UnpackFace writes, used to capture the
+// window-start interpolation anchor with PackRange.
+func ghostExtents(f *grid.Field3, ax grid.Axis, sd grid.Side, count int) (i0, i1, j0, j1, k0, k1 int) {
+	i0, i1, j0, j1, k0, k1 = 0, f.NX, 0, f.NY, 0, f.NZ
+	switch ax {
+	case grid.X:
+		if sd == grid.Low {
+			i0, i1 = -count, 0
+		} else {
+			i0, i1 = f.NX, f.NX+count
+		}
+	case grid.Y:
+		if sd == grid.Low {
+			j0, j1 = -count, 0
+		} else {
+			j0, j1 = f.NY, f.NY+count
+		}
+	default:
+		if sd == grid.Low {
+			k0, k1 = -count, 0
+		} else {
+			k0, k1 = f.NZ, f.NZ+count
+		}
+	}
+	return
+}
+
+// ltsExchange runs one phase of the mixed-rate halo exchange at global
+// base-step index sub. Same-rate neighbor pairs exchange classically
+// (asynchronous per-field messages); toward finer neighbors this rank
+// ships its post-kernel faces every local step; toward coarser neighbors
+// it runs the window protocol — capture the window-start anchor from the
+// ghost region, receive the window-end faces once, blend ghosts to the
+// time level the next kernel needs, and ship its own faces only on the
+// window's last sub-step. Every send precedes every blocking receive
+// within a phase, so the schedule cannot deadlock. The mixed-rate path
+// ignores the configured comm model: there is no per-sub-step collective
+// a barrier could pair with (documented in DESIGN.md §12).
+func (rs *rankState) ltsExchange(l *ltsRank, sub, phase int) {
+	var fields []*grid.Field3
+	if phase == phaseVelocity {
+		fields = rs.st.Velocities()
+	} else {
+		fields = rs.st.Stresses()
+	}
+	c := rs.comm
+
+	// Same-rate neighbors: post receives first (lazy — they block only
+	// when drained below).
+	type pend struct {
+		f   *grid.Field3
+		ax  grid.Axis
+		sd  grid.Side
+		req *mpi.Request
+	}
+	var pends []pend
+	for _, nb := range l.equal {
+		for fi, f := range fields {
+			req := c.IrecvTake(nb.peer, ltsTag(phase, nb.ax, ltsOpp(nb.sd), fi))
+			pends = append(pends, pend{f, nb.ax, nb.sd, req})
+		}
+	}
+	send := func(peer int, ax grid.Axis, sd grid.Side, fi int, f *grid.Field3) {
+		n := f.FaceLen(ax, grid.Ghost)
+		out := mpi.GetBuffer(n)
+		sp := rs.tel.Span(telemetry.Pack)
+		f.PackFace(ax, sd, grid.Ghost, out)
+		sp.End()
+		sp = rs.tel.Span(telemetry.Send)
+		c.IsendOwned(peer, ltsTag(phase, ax, sd, fi), out)
+		sp.End()
+	}
+	for _, nb := range l.equal {
+		for fi, f := range fields {
+			send(nb.peer, nb.ax, nb.sd, fi, f)
+		}
+	}
+	// Finer neighbors: this rank is their coarse side; every local step
+	// opens one of their windows, so ship this step's post-kernel faces.
+	for _, nb := range l.finer {
+		for fi, f := range fields {
+			send(nb.peer, nb.ax, nb.sd, fi, f)
+		}
+	}
+	// Coarser neighbors: window protocol.
+	for _, cn := range l.coarse {
+		old, fresh := cn.vOld, cn.vNew
+		if phase == phaseStress {
+			old, fresh = cn.sOld, cn.sNew
+		}
+		pos := sub % cn.nbRate
+		if pos == 0 {
+			// Window start: the ghost region still holds the coarse
+			// neighbor's window-start time level (left there by the
+			// previous window's final fill, or zero initial state).
+			for fi, f := range fields {
+				i0, i1, j0, j1, k0, k1 := ghostExtents(f, cn.ax, cn.sd, grid.Ghost)
+				f.PackRange(i0, i1, j0, j1, k0, k1, old[fi])
+			}
+			sp := rs.tel.Span(telemetry.Recv)
+			for fi := range fields {
+				c.MustRecv(fresh[fi], cn.peer, ltsTag(phase, cn.ax, ltsOpp(cn.sd), fi))
+			}
+			sp.End()
+		}
+		if pos+l.rate == cn.nbRate {
+			// Window end: ship this rank's own window-end faces; the
+			// coarse neighbor absorbs them at the end of its step.
+			for fi, f := range fields {
+				send(cn.peer, cn.ax, cn.sd, fi, f)
+			}
+		}
+		// Blend ghosts to the time level the next kernel reads
+		// (velocity fills feed the stress kernel of this sub-step,
+		// stress fills feed the velocity kernel of the next one).
+		theta := float32(pos+l.rate) / float32(cn.nbRate)
+		sp := rs.tel.Span(telemetry.Interp)
+		for fi, f := range fields {
+			src := fresh[fi]
+			if theta < 1 {
+				fd.Lerp(cn.scratch, old[fi], fresh[fi], theta)
+				src = cn.scratch
+			}
+			f.UnpackFace(cn.ax, cn.sd, grid.Ghost, src)
+		}
+		sp.End()
+	}
+	// Drain the same-rate receives.
+	for _, p := range pends {
+		sp := rs.tel.Span(telemetry.Recv)
+		p.req.Wait()
+		sp.End()
+		sp = rs.tel.Span(telemetry.Unpack)
+		in := p.req.Data()
+		p.f.UnpackFace(p.ax, p.sd, grid.Ghost, in)
+		mpi.PutBuffer(in)
+		sp.End()
+	}
+}
+
+// ltsAdvance performs one local step of the multi-rate schedule at
+// global base-step index sub (a multiple of this rank's rate), advancing
+// by localDt = baseDt·rate. The body mirrors the classic advance without
+// the features Prepare excludes under LTS (M-PML, DFR, overlap).
+func (rs *rankState) ltsAdvance(opt Options, l *ltsRank, sub int, tm *Timing) {
+	dt := l.localDt
+	tNow := float64(sub+l.rate) * l.baseDt
+
+	// --- Velocity phase ---
+	t0 := time.Now()
+	sp := rs.tel.Span(telemetry.Velocity)
+	fd.UpdateVelocityTiled(rs.st, rs.med, dt, rs.compBox, opt.Variant, opt.Blocking, rs.pool)
+	sp.End()
+	tm.Comp += time.Since(t0).Seconds()
+	t0 = time.Now()
+	rs.ltsExchange(l, sub, phaseVelocity)
+	tm.Comm += time.Since(t0).Seconds()
+	t0 = time.Now()
+	if rs.fs != nil {
+		sp = rs.tel.Span(telemetry.Boundary)
+		rs.fs.ApplyVelocity(rs.st, rs.med)
+		sp.End()
+	}
+
+	// --- Stress phase ---
+	fd.ForEachTile(rs.compBox, opt.Blocking, rs.pool, rs.stressTile(opt, dt))
+	rs.srcs.Inject(rs.st, dt, tNow)
+	tm.Comp += time.Since(t0).Seconds()
+	t0 = time.Now()
+	rs.ltsExchange(l, sub, phaseStress)
+	tm.Comm += time.Since(t0).Seconds()
+	t0 = time.Now()
+	if rs.sponge != nil {
+		sp = rs.tel.Span(telemetry.Boundary)
+		if rs.pgvFolded {
+			rs.sponge.ApplySurfaceFused(rs.st, rs.pool, rs.trackPGVRow)
+		} else {
+			rs.sponge.ApplyPool(rs.st, rs.pool)
+		}
+		sp.End()
+	}
+	if rs.fs != nil {
+		sp = rs.tel.Span(telemetry.Boundary)
+		rs.fs.ApplyStress(rs.st)
+		sp.End()
+	}
+	tm.Comp += time.Since(t0).Seconds()
+
+	// Absorb finer neighbors' window-end faces last, leaving the ghost
+	// region at the new time level for the next step.
+	t0 = time.Now()
+	rs.ltsAbsorbFiner(l)
+	tm.Comm += time.Since(t0).Seconds()
+}
+
+// ltsAbsorbFiner receives the window-end faces every finer neighbor sent
+// during this rank's step and writes them into the ghost region, leaving
+// it at this rank's new time level for the next step's kernels (the
+// velocity ghosts it absorbs are one coarse step stale when the stress
+// kernel reads them — the documented one-sided lag of the scheme).
+func (rs *rankState) ltsAbsorbFiner(l *ltsRank) {
+	if len(l.finer) == 0 {
+		return
+	}
+	c := rs.comm
+	for _, nb := range l.finer {
+		for phase, fields := range [2][]*grid.Field3{rs.st.Velocities(), rs.st.Stresses()} {
+			for fi, f := range fields {
+				sp := rs.tel.Span(telemetry.Recv)
+				in, _ := c.MustRecvTake(nb.peer, ltsTag(phase, nb.ax, ltsOpp(nb.sd), fi))
+				sp.End()
+				sp = rs.tel.Span(telemetry.Unpack)
+				f.UnpackFace(nb.ax, nb.sd, grid.Ghost, in)
+				sp.End()
+				mpi.PutBuffer(in)
+			}
+		}
+	}
+}
+
+// ltsFillReceivers linearly interpolates the seismogram samples a
+// rate-2^k rank never computed (its states only exist every `rate` base
+// steps) from the neighboring recorded samples, anchored at the zero
+// initial state before the first record. Runs once per rank in Finish,
+// before the gather.
+func (rs *rankState) ltsFillReceivers() {
+	for i := range rs.receivers {
+		r := &rs.receivers[i]
+		if r.sampled == nil {
+			continue
+		}
+		last := -1 // virtual zero-valued sample before index 0
+		for si := range r.series {
+			if !r.sampled[si] {
+				continue
+			}
+			var a [3]float32
+			if last >= 0 {
+				a = r.series[last]
+			}
+			b := r.series[si]
+			for g := last + 1; g < si; g++ {
+				t := float32(g-last) / float32(si-last)
+				r.series[g] = [3]float32{
+					a[0] + (b[0]-a[0])*t,
+					a[1] + (b[1]-a[1])*t,
+					a[2] + (b[2]-a[2])*t,
+				}
+			}
+			last = si
+		}
+		if last >= 0 {
+			for g := last + 1; g < len(r.series); g++ {
+				r.series[g] = r.series[last]
+			}
+		}
+	}
+}

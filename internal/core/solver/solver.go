@@ -48,9 +48,23 @@ type FaultSpec struct {
 type Options struct {
 	Global grid.Dims
 	H      float64
-	Dt     float64 // <= 0: derived from the medium at CFL 0.5
-	Steps  int
-	Topo   mpi.Cart // zero value: single rank
+	// Dt is the time step. 0 derives it from the medium at the CFL
+	// safety factor; explicitly negative values are rejected.
+	Dt    float64
+	Steps int
+	Topo  mpi.Cart // zero value: single rank
+
+	// CFL is the safety factor applied to the medium's 4th-order
+	// stability bound when Dt is derived automatically. 0 defaults to
+	// the historical 0.5; explicit values must lie in (0, 1] (1 is the
+	// stability bound itself — the cfl4 and sqrt(3) factors are already
+	// part of the bound). LTS rate assignment reuses the same factor for
+	// per-rank stable steps.
+	CFL float64
+
+	// LTS configures multi-rate local time stepping (see LTSOptions).
+	// Mutually exclusive with TemporalDepth > 1, M-PML and DFR mode.
+	LTS LTSOptions
 
 	Comm     CommModel
 	Variant  fd.Variant
@@ -156,6 +170,10 @@ type Timing struct {
 
 // Run executes the simulation and returns the rank-0 result.
 func Run(q cvm.Querier, opt Options) (*Result, error) {
+	opt, err := PlanLTS(q, opt)
+	if err != nil {
+		return nil, err
+	}
 	dc, opt, err := Prepare(opt)
 	if err != nil {
 		return nil, err
@@ -197,6 +215,8 @@ type rankState struct {
 	fault    *rupture.Fault
 	recorder *rupture.SlipRateHistoryRecorder
 
+	lts *ltsRank // non-nil when Options.LTS.Enabled
+
 	receivers []ownedReceiver
 	pgvh      []float64
 	pgvx      []float64
@@ -212,6 +232,9 @@ type ownedReceiver struct {
 	idx        int
 	li, lj, lk int
 	series     [][3]float32
+	// sampled marks the indices a rate-2^k LTS rank actually recorded;
+	// the gaps are interpolated in Finish. Nil on rate-1 ranks.
+	sampled []bool
 }
 
 func runRank(c *mpi.Comm, q cvm.Querier, dc decomp.Decomp, opt Options) (*Result, error) {

@@ -2,6 +2,7 @@ package solver
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/core/attenuation"
@@ -25,6 +26,15 @@ func Prepare(opt Options) (decomp.Decomp, Options, error) {
 	}
 	if opt.Threads < 0 {
 		return decomp.Decomp{}, opt, fmt.Errorf("solver: Threads must be >= 0, got %d", opt.Threads)
+	}
+	if opt.Dt < 0 {
+		return decomp.Decomp{}, opt, fmt.Errorf("solver: Dt must be positive, or zero for automatic; got %g", opt.Dt)
+	}
+	if opt.CFL < 0 || opt.CFL > 1 {
+		return decomp.Decomp{}, opt, fmt.Errorf("solver: CFL must lie in (0, 1], got %g", opt.CFL)
+	}
+	if opt.CFL == 0 {
+		opt.CFL = 0.5
 	}
 	if err := opt.Variant.Validate(); err != nil {
 		return decomp.Decomp{}, opt, fmt.Errorf("solver: %w", err)
@@ -74,7 +84,38 @@ func Prepare(opt Options) (decomp.Decomp, Options, error) {
 			}
 		}
 	}
-	dc, err := decomp.New(opt.Global, opt.Topo)
+	if opt.LTS.Enabled {
+		if opt.TemporalDepth > 1 {
+			return decomp.Decomp{}, opt, fmt.Errorf("solver: LTS and TemporalDepth > 1 are mutually exclusive (pick one step-batching scheme)")
+		}
+		if opt.ABC == MPMLABC {
+			return decomp.Decomp{}, opt, fmt.Errorf("solver: LTS does not support M-PML boundaries (split-field zone state has no rate-boundary interpolant)")
+		}
+		if opt.Fault != nil {
+			return decomp.Decomp{}, opt, fmt.Errorf("solver: LTS does not support DFR fault mode")
+		}
+		switch opt.LTS.MaxK {
+		case 0:
+			opt.LTS.MaxK = 2
+		case 1, 2:
+		default:
+			return decomp.Decomp{}, opt, fmt.Errorf("solver: LTS.MaxK must be 1 or 2 (0 defaults to 2), got %d", opt.LTS.MaxK)
+		}
+		switch opt.LTS.MaxRateRatio {
+		case 0:
+			opt.LTS.MaxRateRatio = 2
+		case 2, 4:
+		default:
+			return decomp.Decomp{}, opt, fmt.Errorf("solver: LTS.MaxRateRatio must be 2 or 4 (0 defaults to 2), got %d", opt.LTS.MaxRateRatio)
+		}
+	}
+	var dc decomp.Decomp
+	var err error
+	if pr := opt.LTS.PlaneRates; opt.LTS.Enabled && pr != nil {
+		dc, err = decomp.NewWorkBalanced(opt.Global, opt.Topo, pr.X, pr.Y, pr.Z)
+	} else {
+		dc, err = decomp.New(opt.Global, opt.Topo)
+	}
 	if err != nil {
 		return decomp.Decomp{}, opt, err
 	}
@@ -137,10 +178,18 @@ func NewStepper(c *mpi.Comm, q cvm.Querier, dc decomp.Decomp, opt Options) (*Ste
 		rs.nbrMask[ax][1] = opt.Topo.Neighbor(c.Rank(), ax, +1) >= 0
 	}
 
-	// Global stable dt.
+	// Global stable dt at the configured CFL safety factor.
 	dt := opt.Dt
 	if dt <= 0 {
-		dt = c.Allreduce([]float64{rs.med.StableDt(0.5)}, mpi.Min)[0]
+		dt = c.Allreduce([]float64{rs.med.StableDt(opt.CFL)}, mpi.Min)[0]
+	}
+	// Multi-rate local time stepping: assign per-rank rate-2^k clusters.
+	// This rank's own state (attenuation coefficients, sponge strength,
+	// source injection) is built against its local step dt·rate below.
+	stepDt := dt
+	if opt.LTS.Enabled {
+		rs.lts = newLTSRank(c, opt, rs, dt)
+		stepDt = rs.lts.localDt
 	}
 
 	// Boundary conditions on the physical faces this rank owns.
@@ -156,15 +205,22 @@ func NewStepper(c *mpi.Comm, q cvm.Querier, dc decomp.Decomp, opt Options) (*Ste
 			XLo: true, XHi: true, YLo: true, YHi: true,
 			ZLo: !opt.FreeSurface, ZHi: true,
 		}
+		alpha := opt.SpongeAlpha
+		if rs.lts != nil && rs.lts.rate > 1 {
+			// One coarse-step application must damp like `rate` base-step
+			// applications; the exponential taper g = exp(-(αx)²)
+			// composes exactly as g^rate = exp(-(α√rate·x)²).
+			alpha *= math.Sqrt(float64(rs.lts.rate))
+		}
 		rs.sponge = boundary.NewSpongeGlobal(rs.sub.Local, opt.Global,
 			[3]int{rs.sub.OffX, rs.sub.OffY, rs.sub.OffZ},
-			opt.SpongeWidth, opt.SpongeAlpha, globalFaces)
+			opt.SpongeWidth, alpha, globalFaces)
 	}
 	if opt.FreeSurface && rs.sub.OffZ == 0 {
 		rs.fs = boundary.NewFreeSurface(rs.sub.Local)
 	}
 	if opt.Attenuation {
-		rs.atten = attenuation.New(rs.med, opt.Band, dt)
+		rs.atten = attenuation.New(rs.med, opt.Band, stepDt)
 		rs.atten.Origin = [3]int{rs.sub.OffX, rs.sub.OffY, rs.sub.OffZ}
 	}
 	// At depth > 1 the stress stages recompute ghost cells up to 4T-4 deep
@@ -194,10 +250,14 @@ func NewStepper(c *mpi.Comm, q cvm.Querier, dc decomp.Decomp, opt Options) (*Ste
 	nSamples := (opt.Steps + opt.RecordEvery - 1) / opt.RecordEvery
 	for idx, r := range opt.Receivers {
 		if li, lj, lk, ok := rs.sub.Contains(r[0], r[1], r[2]); ok {
-			rs.receivers = append(rs.receivers, ownedReceiver{
+			or := ownedReceiver{
 				idx: idx, li: li, lj: lj, lk: lk,
 				series: make([][3]float32, nSamples),
-			})
+			}
+			if rs.lts != nil && rs.lts.rate > 1 {
+				or.sampled = make([]bool, nSamples)
+			}
+			rs.receivers = append(rs.receivers, or)
 		}
 	}
 	if opt.TrackPGV && rs.sub.OffZ == 0 {
@@ -233,8 +293,34 @@ func (s *Stepper) SetStepIndex(n int) error {
 	if T := s.opt.TemporalDepth; T > 1 && n%T != 0 {
 		return fmt.Errorf("solver: step index %d is not a super-step boundary (TemporalDepth %d)", n, T)
 	}
+	if l := s.rs.lts; l != nil && l.maxRate > 1 && n%l.maxRate != 0 {
+		return fmt.Errorf("solver: step index %d is not an LTS cycle boundary (max rate %d)", n, l.maxRate)
+	}
 	s.step = n
 	return nil
+}
+
+// StepAlign returns the alignment unit of checkpointable step indices:
+// one LTS cycle (the maximum rate — mid-cycle, coarse ranks have no
+// wavefield state to save), one temporal-tiling super-step, or 1 for
+// classic stepping. Harnesses round checkpoint intervals up to it.
+func (s *Stepper) StepAlign() int {
+	if l := s.rs.lts; l != nil && l.maxRate > 1 {
+		return l.maxRate
+	}
+	if T := s.opt.TemporalDepth; T > 1 {
+		return T
+	}
+	return 1
+}
+
+// LTSRates returns the per-rank step-rate multipliers of an LTS run
+// (identical on every rank), or nil when LTS is disabled.
+func (s *Stepper) LTSRates() []int {
+	if s.rs.lts == nil {
+		return nil
+	}
+	return append([]int(nil), s.rs.lts.rates...)
 }
 
 // Done reports whether every configured step has executed.
@@ -258,6 +344,44 @@ func (s *Stepper) Recorder() *telemetry.Recorder { return s.rs.tel }
 // every contained step are extracted inside the sweep; the step cursor
 // advances by the number of steps executed.
 func (s *Stepper) Step() {
+	if l := s.rs.lts; l != nil && l.maxRate > 1 {
+		// One call executes a whole cycle: maxRate base steps, during
+		// which this rank takes maxRate/rate local steps. All messages a
+		// cycle produces are consumed within it, so cycle boundaries are
+		// clean checkpoint/rollback points.
+		for u := 0; u < l.maxRate; u++ {
+			sub := s.step + u
+			if sub%l.rate != 0 {
+				continue
+			}
+			s.rs.ltsAdvance(s.opt, l, sub, &s.tm)
+			// Observables land on the base-step index this local step
+			// reaches (its post-step state).
+			rec := sub + l.rate - 1
+			t0 := time.Now()
+			sp := s.rs.tel.Span(telemetry.Output)
+			if rec%s.opt.RecordEvery == 0 {
+				si := rec / s.opt.RecordEvery
+				for i := range s.rs.receivers {
+					r := &s.rs.receivers[i]
+					r.series[si] = [3]float32{
+						s.rs.st.VX.At(r.li, r.lj, r.lk),
+						s.rs.st.VY.At(r.li, r.lj, r.lk),
+						s.rs.st.VZ.At(r.li, r.lj, r.lk),
+					}
+					if r.sampled != nil {
+						r.sampled[si] = true
+					}
+				}
+			}
+			s.rs.trackPGV()
+			sp.End()
+			s.tm.Output += time.Since(t0).Seconds()
+		}
+		s.rs.tel.StepEnd()
+		s.step += l.maxRate
+		return
+	}
 	if T := s.opt.TemporalDepth; T > 1 {
 		if left := s.opt.Steps - s.step; left < T {
 			T = left
@@ -301,6 +425,9 @@ func (s *Stepper) Step() {
 // Finish gathers all per-rank outputs at rank 0 (collective: every rank
 // must call it) and returns the rank-0 Result (nil on other ranks).
 func (s *Stepper) Finish() (*Result, error) {
+	// Coarse LTS ranks fill the seismogram samples they never computed
+	// by linear interpolation before the gather.
+	s.rs.ltsFillReceivers()
 	return s.rs.collect(s.c, s.dc, s.opt, s.dt, s.momentRate, s.tm)
 }
 

@@ -202,7 +202,14 @@ func RunWorld(o WorldOptions) (*solver.Result, WorldStats, error) {
 	if o.MaxRecoveries <= 0 {
 		o.MaxRecoveries = 16
 	}
-	dc, opt, err := solver.Prepare(o.Solver)
+	// Plan LTS rate clusters exactly as solver.Run would, so a
+	// checkpointed world and a failure-free Run share one decomposition
+	// (work-balanced cuts included) and stay bit-comparable.
+	planned, err := solver.PlanLTS(o.Query, o.Solver)
+	if err != nil {
+		return nil, WorldStats{}, err
+	}
+	dc, opt, err := solver.Prepare(planned)
 	if err != nil {
 		return nil, WorldStats{}, err
 	}
@@ -371,6 +378,18 @@ func (h *rankHarness) runSegment(stp **solver.Stepper) (res *solver.Result, err 
 			return nil, nerr
 		}
 		*stp = st
+		// Multi-rate LTS only exposes its cycle length after stepper
+		// construction (rate assignment needs the per-rank media); like the
+		// TemporalDepth rounding above, checkpoints must land on cycle
+		// boundaries, where StepIndex is settable.
+		if a := st.StepAlign(); a > 1 && h.interval%a != 0 {
+			rounded := (h.interval/a + 1) * a
+			if h.comm.Rank() == 0 {
+				log.Printf("ft: checkpoint interval %d is not a multiple of the step alignment %d; rounding up to %d",
+					h.interval, a, rounded)
+			}
+			h.interval = rounded
+		}
 	}
 	st := *stp
 	for !st.Done() {

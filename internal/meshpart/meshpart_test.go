@@ -150,3 +150,130 @@ func rel(a, b float32) float64 {
 	}
 	return math.Abs(float64(a-b)) / math.Abs(float64(b))
 }
+
+// A degenerate 1-rank "decomposition" must still work through every
+// partitioning path — pre-partitioned, on-demand with the sole rank as
+// its own reader — and agree with direct CVM extraction including the
+// clamped ghost shell (every ghost is a global-boundary ghost here).
+func TestSingleRankDegenerateDecomp(t *testing.T) {
+	g := grid.Dims{NX: 9, NY: 7, NZ: 6}
+	topo := mpi.NewCart(1, 1, 1)
+	fsys, dc, q, h := setup(t, g, topo)
+	if _, err := PrePartition(fsys, "in/mesh.bin", "parts", g, dc); err != nil {
+		t.Fatal(err)
+	}
+	pre, err := ReadPrePartitioned(fsys, "parts", g, dc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs, _, err := OnDemand(fsys, "in/mesh.bin", g, dc, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := range pre.VP {
+		if subs[0].VP[n] != pre.VP[n] || subs[0].VS[n] != pre.VS[n] || subs[0].Rho[n] != pre.Rho[n] {
+			t.Fatalf("on-demand differs from pre-partitioned at element %d", n)
+		}
+	}
+	m1, err := medium.FromArrays(pre.Dims, h, pre.VP, pre.VS, pre.Rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := medium.FromCVM(q, dc, dc.SubFor(0), h)
+	d1, d2 := m1.Rho.Data(), m2.Rho.Data()
+	for n := range d1 {
+		if rel(d1[n], d2[n]) > 1e-5 {
+			t.Fatalf("rho[%d] %g vs %g", n, d1[n], d2[n])
+		}
+	}
+}
+
+// workRates builds a per-plane rate vector: rate `hi` for planes >= split,
+// 1 below — the basin-over-rock shape the LTS planner produces.
+func workRates(n, split, hi int) []int {
+	r := make([]int, n)
+	for i := range r {
+		if i >= split {
+			r[i] = hi
+		} else {
+			r[i] = 1
+		}
+	}
+	return r
+}
+
+// Work-weighted cuts put narrow ranks against the global x=0 boundary and
+// wide ranks against x=NX-1. The ghost shells of both extreme ranks must
+// clamp to the boundary planes exactly as direct extraction does.
+func TestGhostClampingAtBoundariesWorkBalanced(t *testing.T) {
+	g := grid.Dims{NX: 20, NY: 8, NZ: 8}
+	topo := mpi.NewCart(3, 1, 1)
+	fsys, _, q, h := setup(t, g, topo)
+	dc, err := decomp.NewWorkBalanced(g, topo, workRates(g.NX, 8, 4), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuts := dc.Cuts(0)
+	if cuts[1]-cuts[0] >= cuts[3]-cuts[2] {
+		t.Fatalf("cuts %v: expected a narrow rate-1 rank at x=0 and a wide rate-4 rank at the far end", cuts)
+	}
+	if _, err := PrePartition(fsys, "in/mesh.bin", "parts", g, dc); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []int{0, topo.Size() - 1} {
+		sm, err := ReadPrePartitioned(fsys, "parts", g, dc, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m1, err := medium.FromArrays(sm.Dims, h, sm.VP, sm.VS, sm.Rho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2 := medium.FromCVM(q, dc, dc.SubFor(r), h)
+		d1, d2 := m1.Rho.Data(), m2.Rho.Data()
+		for n := range d1 {
+			if rel(d1[n], d2[n]) > 1e-5 {
+				t.Fatalf("rank %d: rho[%d] %g vs %g (ghost clamp mismatch)", r, n, d1[n], d2[n])
+			}
+		}
+	}
+}
+
+// On-demand partitioning must agree element-for-element with the
+// pre-partitioned files on a cluster-aware (work-balanced, uneven-cut)
+// decomposition, across reader counts and y subdivision.
+func TestOnDemandParityOnWorkBalancedDecomp(t *testing.T) {
+	g := grid.Dims{NX: 24, NY: 10, NZ: 8}
+	topo := mpi.NewCart(4, 1, 1)
+	fsys, _, _, _ := setup(t, g, topo)
+	dc, err := decomp.NewWorkBalanced(g, topo, workRates(g.NX, 12, 4), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PrePartition(fsys, "in/mesh.bin", "parts", g, dc); err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []struct{ readers, ysplit int }{{1, 1}, {2, 1}, {4, 2}, {3, 3}} {
+		subs, stats, err := OnDemand(fsys, "in/mesh.bin", g, dc, cfg.readers, cfg.ysplit)
+		if err != nil {
+			t.Fatalf("readers=%d ysplit=%d: %v", cfg.readers, cfg.ysplit, err)
+		}
+		if stats.Bytes == 0 {
+			t.Error("no read bytes accounted")
+		}
+		for r := 0; r < topo.Size(); r++ {
+			pre, err := ReadPrePartitioned(fsys, "parts", g, dc, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(subs[r].VP) != len(pre.VP) {
+				t.Fatalf("cfg %+v rank %d: padded length %d vs %d", cfg, r, len(subs[r].VP), len(pre.VP))
+			}
+			for n := range pre.VP {
+				if subs[r].VP[n] != pre.VP[n] || subs[r].VS[n] != pre.VS[n] || subs[r].Rho[n] != pre.Rho[n] {
+					t.Fatalf("cfg %+v rank %d: element %d differs", cfg, r, n)
+				}
+			}
+		}
+	}
+}

@@ -64,6 +64,10 @@ const (
 	// fault: electing the restart step, reloading the checkpoint, and
 	// resetting the runtime (internal/ft).
 	Recovery
+	// Interp is rate-boundary ghost interpolation time under multi-rate
+	// local time stepping: blending buffered coarse-neighbor face
+	// sections in time and writing them into the ghost region.
+	Interp
 
 	numPhases
 )
@@ -74,7 +78,7 @@ const NumPhases = int(numPhases)
 var phaseNames = [NumPhases]string{
 	"velocity", "stress", "attenuation", "boundary", "pack", "send",
 	"recv", "unpack", "sync", "output", "io", "checkpoint",
-	"queue-wait", "execute", "recovery",
+	"queue-wait", "execute", "recovery", "interp",
 }
 
 func (p Phase) String() string {

@@ -61,6 +61,12 @@ type AutotuneOptions struct {
 	// which is exactly what the Fused variant removes — tuning without it
 	// would mis-rank the candidates).
 	Attenuation bool
+	// LTS marks that the run uses multi-rate local time stepping, which
+	// is mutually exclusive with temporal tiling: the candidate sweep is
+	// restricted to depth 1 and the profile entry is keyed separately so
+	// a depth > 1 winner cached by a classic run never leaks into an LTS
+	// run (and vice versa).
+	LTS bool
 	// CachePath overrides the profile location ("" uses DefaultProfilePath).
 	CachePath string
 	// Quick restricts the sweep to two blockings and one timed repetition —
@@ -109,20 +115,25 @@ func DefaultProfilePath() (string, error) {
 
 // profileKey identifies a tuning configuration: the kernel ranking depends
 // on the subgrid shape (cache footprint), the pool size (tile parallelism),
-// the machine's scheduling width, and whether attenuation rides along.
-func profileKey(d grid.Dims, threads int, atten bool) string {
+// the machine's scheduling width, whether attenuation rides along, and
+// whether the run is LTS (which forbids temporal depth > 1).
+func profileKey(d grid.Dims, threads int, atten, lts bool) string {
 	a := 0
 	if atten {
 		a = 1
 	}
-	return fmt.Sprintf("%dx%dx%d|t%d|p%d|a%d", d.NX, d.NY, d.NZ, threads, runtime.GOMAXPROCS(0), a)
+	key := fmt.Sprintf("%dx%dx%d|t%d|p%d|a%d", d.NX, d.NY, d.NZ, threads, runtime.GOMAXPROCS(0), a)
+	if lts {
+		key += "|lts"
+	}
+	return key
 }
 
 // autotuneCandidates returns the (variant, blocking) sweep. Precomp is the
 // unblocked baseline; Blocked/Unrolled are the paper's §IV.B ladder;
 // Fused is the subslice-window engine. The blocking also shapes the pool
 // tiles, so it matters for every variant.
-func autotuneCandidates(quick bool) []KernelChoice {
+func autotuneCandidates(quick, lts bool) []KernelChoice {
 	variants := []fd.Variant{fd.Blocked, fd.Unrolled, fd.Fused}
 	blockings := []fd.Blocking{
 		{JBlock: 4, KBlock: 8},
@@ -136,6 +147,9 @@ func autotuneCandidates(quick bool) []KernelChoice {
 	if quick {
 		blockings = []fd.Blocking{{JBlock: 8, KBlock: 16}, {JBlock: 16, KBlock: 16}}
 		depths = []int{1, 2}
+	}
+	if lts {
+		depths = []int{1}
 	}
 	var out []KernelChoice
 	for _, v := range variants {
@@ -168,7 +182,7 @@ func AutotuneKernels(opt AutotuneOptions) (KernelChoice, []KernelSample, error) 
 			return KernelChoice{}, nil, err
 		}
 	}
-	key := profileKey(opt.Dims, opt.Threads, opt.Attenuation)
+	key := profileKey(opt.Dims, opt.Threads, opt.Attenuation, opt.LTS)
 
 	prof := loadProfile(path)
 	if e, ok := prof.Entries[key]; ok {
@@ -203,7 +217,7 @@ func AutotuneKernels(opt AutotuneOptions) (KernelChoice, []KernelSample, error) 
 
 	best := KernelChoice{NsPerCell: math.Inf(1)}
 	var samples []KernelSample
-	for _, cand := range autotuneCandidates(opt.Quick) {
+	for _, cand := range autotuneCandidates(opt.Quick, opt.LTS) {
 		ns := bench(cand.Variant, cand.Blocking, cand.TemporalDepth)
 		samples = append(samples, KernelSample{
 			Variant: cand.Variant.String(),

@@ -50,8 +50,8 @@ func TestAutotuneRoundTrip(t *testing.T) {
 		choice.Blocking.KBlock != 16 || choice.TemporalDepth != 2 {
 		t.Fatalf("wrong winner: %v %+v depth %d", choice.Variant, choice.Blocking, choice.TemporalDepth)
 	}
-	if len(samples) != len(autotuneCandidates(false)) {
-		t.Fatalf("expected %d samples, got %d", len(autotuneCandidates(false)), len(samples))
+	if len(samples) != len(autotuneCandidates(false, false)) {
+		t.Fatalf("expected %d samples, got %d", len(autotuneCandidates(false, false)), len(samples))
 	}
 
 	calls = 0
@@ -161,8 +161,8 @@ func TestAutotuneEndToEndQuick(t *testing.T) {
 	if choice.NsPerCell <= 0 {
 		t.Fatalf("non-positive measurement: %g", choice.NsPerCell)
 	}
-	if len(samples) != len(autotuneCandidates(true)) {
-		t.Fatalf("expected %d quick samples, got %d", len(autotuneCandidates(true)), len(samples))
+	if len(samples) != len(autotuneCandidates(true, false)) {
+		t.Fatalf("expected %d quick samples, got %d", len(autotuneCandidates(true, false)), len(samples))
 	}
 	for _, s := range samples {
 		if s.NsPerCell <= 0 {
@@ -240,5 +240,64 @@ func TestAutotuneProfileVersionMismatch(t *testing.T) {
 	}
 	if calls != before {
 		t.Fatal("rewritten current-version profile missed")
+	}
+}
+
+// TestAutotuneLTSKeySeparation pins the LTS cache discipline: an LTS run
+// never reuses a classic run's cached winner (whose depth may exceed 1),
+// its candidate sweep is depth-1 only, and its winner is cached under a
+// separate key so the classic entry survives.
+func TestAutotuneLTSKeySeparation(t *testing.T) {
+	cache := filepath.Join(t.TempDir(), "profile.json")
+	calls := 0
+	opt := AutotuneOptions{
+		Dims:      grid.Dims{NX: 64, NY: 48, NZ: 32},
+		Threads:   2,
+		CachePath: cache,
+		benchFn: func(v fd.Variant, blk fd.Blocking, tdepth int) float64 {
+			calls++
+			if tdepth > 1 {
+				return 1.0 // classic tuning prefers depth > 1
+			}
+			return 2.0
+		},
+	}
+	classic, _, err := AutotuneKernels(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if classic.TemporalDepth <= 1 {
+		t.Fatalf("classic winner depth %d, expected > 1", classic.TemporalDepth)
+	}
+
+	calls = 0
+	opt.LTS = true
+	lts, samples, err := AutotuneKernels(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("LTS run reused the classic cache entry")
+	}
+	if lts.TemporalDepth != 1 {
+		t.Fatalf("LTS winner depth %d, want 1", lts.TemporalDepth)
+	}
+	for _, s := range samples {
+		if s.TDepth != 1 {
+			t.Fatalf("LTS sweep benchmarked depth %d", s.TDepth)
+		}
+	}
+
+	// Both entries must coexist in the profile.
+	calls = 0
+	if again, _, err := AutotuneKernels(opt); err != nil || calls != 0 || !again.FromCache {
+		t.Fatalf("LTS entry not cached (err %v, calls %d)", err, calls)
+	}
+	opt.LTS = false
+	if again, _, err := AutotuneKernels(opt); err != nil || calls != 0 || !again.FromCache {
+		t.Fatalf("classic entry lost after LTS tuning (err %v, calls %d)", err, calls)
+	}
+	if again, _, _ := AutotuneKernels(opt); again.TemporalDepth != classic.TemporalDepth {
+		t.Fatalf("classic cached depth changed to %d", again.TemporalDepth)
 	}
 }
