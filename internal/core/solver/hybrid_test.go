@@ -1,0 +1,159 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cvm"
+	"repro/internal/grid"
+	"repro/internal/telemetry"
+)
+
+func hybridTestConfig() HybridConfig {
+	return HybridConfig{
+		PerRank:     grid.Dims{NX: 10, NY: 10, NZ: 10},
+		SampleRanks: 8,
+		Steps:       10,
+		Reps:        3,
+		Ranks:       []int{64, 512, 4096, 10240},
+	}
+}
+
+func hybridQuerier(cfg HybridConfig) cvm.Querier {
+	g := cfg.PerRank
+	return cvm.SoCal(float64(g.NX)*100*8, float64(g.NY)*100*8, float64(g.NZ)*100*4, 500)
+}
+
+// TestHybridMatchesFullRun is the end-to-end parity gate: the hybrid
+// mode measures per-rank constants on an 8-rank sample, projects what a
+// full execution of the P=64 weak-scaling point would cost on this
+// host, and the projection must match a really-executed 64-rank run
+// within tolerance. This is the check that keeps the extrapolated
+// Fig. 5/6 curves anchored to something the host can still verify.
+func TestHybridMatchesFullRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hybrid parity needs real timed runs; skipped in -short")
+	}
+	cfg := hybridTestConfig()
+	q := hybridQuerier(cfg)
+
+	// Timer-sensitive gate: the race detector inflates every atomic and
+	// lock by an order of magnitude, and does so non-uniformly between
+	// the sampled measurement and the 64-rank verification run.
+	tol := 0.15
+	if telemetry.RaceEnabled {
+		tol = 0.50
+	}
+	// The parity gate retries: host noise on a shared single core is
+	// episodic (whole seconds of slowdown), so one attempt can have its
+	// measurement and verification phases land in different regimes. A
+	// genuinely biased projection fails every attempt; an episodic
+	// mismeasure fails at most one or two.
+	const attempts = 4
+	var hs *HybridScaling
+	passed := false
+	for attempt := 1; attempt <= attempts; attempt++ {
+		var err error
+		hs, err = HybridRun(q, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var p64 *HybridPoint
+		for i := range hs.Weak {
+			if hs.Weak[i].Ranks == 64 {
+				p64 = &hs.Weak[i]
+			}
+		}
+		if p64 == nil {
+			t.Fatal("no P=64 weak point")
+		}
+		measured, err := RunFullWeakPoint(q, cfg, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		relErr := math.Abs(p64.HostProjStepSec-measured) / measured
+		t.Logf("attempt %d: P=64 parity: projected %.4g s/step, measured %.4g s/step, rel err %.1f%%",
+			attempt, p64.HostProjStepSec, measured, 100*relErr)
+		if relErr <= tol {
+			passed = true
+			break
+		}
+	}
+	if !passed {
+		t.Fatalf("hybrid host projection missed the %.0f%% parity gate on all %d attempts", 100*tol, attempts)
+	}
+
+	if len(hs.Weak) != len(cfg.Ranks) {
+		t.Fatalf("weak curve has %d points, want %d", len(hs.Weak), len(cfg.Ranks))
+	}
+	for i := range hs.Weak {
+		pt := &hs.Weak[i]
+		if pt.StepSec <= 0 || pt.Efficiency <= 0 || pt.Efficiency > 1.0001 {
+			t.Fatalf("weak point P=%d implausible: step %.3g s, efficiency %.3g",
+				pt.Ranks, pt.StepSec, pt.Efficiency)
+		}
+	}
+	last := hs.Weak[len(hs.Weak)-1]
+	if last.Ranks != 10240 {
+		t.Fatalf("largest weak point is P=%d, want 10240", last.Ranks)
+	}
+	if last.SampledRanks != cfg.SampleRanks {
+		t.Fatalf("P=10240 sampled %d ranks, want %d", last.SampledRanks, cfg.SampleRanks)
+	}
+
+	// The virtual cluster curve must reflect weak-scaling physics:
+	// step time grows with P (communication and sync grow, compute per
+	// rank fixed), so efficiency is non-increasing.
+	for i := 1; i < len(hs.Weak); i++ {
+		if hs.Weak[i].Efficiency > hs.Weak[i-1].Efficiency+1e-9 {
+			t.Fatalf("weak efficiency increased from P=%d (%.4f) to P=%d (%.4f)",
+				hs.Weak[i-1].Ranks, hs.Weak[i-1].Efficiency,
+				hs.Weak[i].Ranks, hs.Weak[i].Efficiency)
+		}
+	}
+	if len(hs.Strong) != len(cfg.Ranks) {
+		t.Fatalf("strong curve has %d points, want %d", len(hs.Strong), len(cfg.Ranks))
+	}
+	for _, sp := range hs.Strong {
+		if sp.StepTime <= 0 || sp.Speedup <= 0 {
+			t.Fatalf("strong point P=%d implausible: %+v", sp.Cores, sp)
+		}
+	}
+}
+
+// TestMeasureConstantsSane checks the measured constants are physical:
+// positive compute cost, non-negative fitted comm constants, measured
+// traffic consistent with the coalesced layout at the sample size.
+func TestMeasureConstantsSane(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measurement runs skipped in -short")
+	}
+	cfg := hybridTestConfig()
+	mc, err := MeasureConstants(hybridQuerier(cfg), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.CompSecPerCell <= 0 || mc.HostRankStepSec <= 0 {
+		t.Fatalf("non-positive measured compute: %+v", mc)
+	}
+	if mc.HostNbrStepSec < 0 {
+		t.Fatalf("negative per-neighbor host cost: %+v", mc)
+	}
+	if mc.Alpha < 0 || mc.Beta <= 0 {
+		t.Fatalf("unphysical fitted constants: alpha=%g beta=%g", mc.Alpha, mc.Beta)
+	}
+	if mc.SyncPerRound <= 0 {
+		t.Fatalf("non-positive barrier round: %g", mc.SyncPerRound)
+	}
+	// A 2x2x2 coalesced sample: every rank has 3 neighbors, one message
+	// per neighbor per phase, two phases — 6 msgs/rank/step.
+	if mc.MsgsPerRankStep < 4 || mc.MsgsPerRankStep > 8 {
+		t.Fatalf("measured %g msgs/rank/step, want ~6 (coalesced 2x2x2)", mc.MsgsPerRankStep)
+	}
+	if mc.BytesPerRankStep <= 0 {
+		t.Fatalf("no measured bytes: %+v", mc)
+	}
+	if mc.SampleRanks != cfg.SampleRanks {
+		t.Fatalf("SampleRanks = %d, want %d", mc.SampleRanks, cfg.SampleRanks)
+	}
+}

@@ -371,3 +371,34 @@ func TestWorldLTSCrashRecovery(t *testing.T) {
 	}
 	assertBitIdentical(t, ref, res)
 }
+
+// TestWorld16RankCrashRecovery runs coordinated recovery at 16 ranks
+// (4x2x2) — the first world shape where the combining-tree barrier and
+// binomial collectives have depth > 2 and internal tree nodes with two
+// children. A rank crashes mid-run, the abort must unwind 15 peers
+// parked across the tree (not a single convoy condvar), and Reset must
+// rearm every tree node so replay lands bit-identical. This pins the
+// scale-refactor collectives against the recovery protocol, which is
+// deliberately NOT built on them.
+func TestWorld16RankCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("16-rank recovery run skipped in -short")
+	}
+	q := worldQuerier()
+	opt := worldSolverOptions(mpi.NewCart(4, 2, 2), solver.AsyncReduced)
+	ref, err := solver.Run(q, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, stats, err := RunWorld(WorldOptions{
+		Solver: opt, Query: q, FS: testFS(), Dir: "ckpt", Interval: 8,
+		Chaos: &mpi.ChaosPlan{Seed: 29, CrashAtSend: map[int]uint64{11: 45}},
+	})
+	if err != nil {
+		t.Fatalf("RunWorld: %v (stats %+v)", err, stats)
+	}
+	if stats.Recoveries == 0 {
+		t.Fatalf("crash never fired; fault vacuous (stats %+v)", stats)
+	}
+	assertBitIdentical(t, ref, res)
+}

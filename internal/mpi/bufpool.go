@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"math/bits"
+	"runtime"
 	"sync"
 	"sync/atomic"
 )
@@ -11,8 +12,15 @@ import (
 // lends it with SendOwned, the receiver unpacks and returns it with
 // PutBuffer — one pack, zero copies, zero steady-state allocations.
 //
-// Two refinements over a plain power-of-two pool, both driven by the
-// BENCH_1 halo-send regression:
+// The pool is process-global, shared by every World and every rank
+// pair: its footprint scales with the number of buffers actually in
+// circulation (active links), not with world size or size^2. That is
+// what lets a 10,240-rank world reuse the same free lists a 8-rank
+// world warms up, instead of any per-rank or per-pair caching scheme
+// whose idle cost would grow with P.
+//
+// Refinements over a plain power-of-two pool, driven by the BENCH_1
+// halo-send regression and the 10k-rank scale work:
 //
 //   - Half-step size classes: capacities alternate 2^k and 3·2^(k-1)
 //     (1, 2, 3, 4, 6, 8, 12, 16, ...), so a FaceLen-sized pack (e.g.
@@ -23,7 +31,15 @@ import (
 //   - Sharded free lists: each class is split into small LIFO shards
 //     under their own mutexes, with round-robin placement and steal-on-
 //     miss, so the sender's Get and the receiver's Put of a pipelined
-//     exchange don't serialize on one lock.
+//     exchange don't serialize on one lock. The shard count scales with
+//     GOMAXPROCS (clamped to [4, 64]): contention grows with the number
+//     of ranks that can actually run concurrently, not with world size.
+//   - Bounded retention: each shard keeps at most maxFreePerShard
+//     buffers; overflow is dropped to the garbage collector. A burst
+//     that briefly puts thousands of buffers in flight (a 10k-rank
+//     ring exchange) therefore cannot pin its high-water mark in the
+//     pool forever — steady-state retention is bounded per class by
+//     shards × maxFreePerShard regardless of P.
 //
 // A mutex-guarded slice (rather than sync.Pool) keeps Put free of boxing
 // allocations: the legacy Send path costs one allocation plus one copy
@@ -32,15 +48,35 @@ import (
 // maxClass covers capacities up to 2^31 values.
 const maxClass = 62
 
-const bufShards = 4
+// maxFreePerShard bounds each shard's free list; Put drops overflow.
+const maxFreePerShard = 256
+
+// bufShards is the per-class shard count: the smallest power of two
+// >= GOMAXPROCS at init, clamped to [4, 64].
+var bufShards = func() int {
+	n := runtime.GOMAXPROCS(0)
+	s := 4
+	for s < n && s < 64 {
+		s <<= 1
+	}
+	return s
+}()
+
+type bufShard struct {
+	mu   sync.Mutex
+	free [][]float32
+	_    [40]byte // keep neighboring shard locks off one cache line
+}
 
 var bufClasses [maxClass + 1]struct {
-	shards [bufShards]struct {
-		mu   sync.Mutex
-		free [][]float32
-		_    [40]byte // keep neighboring shard locks off one cache line
+	shards []bufShard
+	rr     atomic.Uint32 // round-robin cursor for placement/stealing
+}
+
+func init() {
+	for i := range bufClasses {
+		bufClasses[i].shards = make([]bufShard, bufShards)
 	}
-	rr atomic.Uint32 // round-robin cursor for placement/stealing
 }
 
 // classFor returns the smallest class whose capacity holds n values.
@@ -102,7 +138,9 @@ func GetBuffer(n int) []float32 {
 
 // PutBuffer recycles a buffer previously obtained from GetBuffer (or
 // received via RecvTake/IrecvTake). Safe to call with any slice; buffers
-// land in the largest class their capacity fully covers.
+// land in the largest class their capacity fully covers. When the
+// target shard is full the buffer is dropped for the GC to reclaim,
+// bounding the pool's idle retention.
 func PutBuffer(b []float32) {
 	if cap(b) == 0 {
 		return
@@ -114,6 +152,8 @@ func PutBuffer(b []float32) {
 	p := &bufClasses[c]
 	s := &p.shards[int(p.rr.Add(1))%bufShards]
 	s.mu.Lock()
-	s.free = append(s.free, b[:cap(b)])
+	if len(s.free) < maxFreePerShard {
+		s.free = append(s.free, b[:cap(b)])
+	}
 	s.mu.Unlock()
 }

@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"errors"
+	"math"
 	"testing"
 	"time"
 )
@@ -262,5 +263,64 @@ func TestChecksumZeroRemap(t *testing.T) {
 	b := checksum([]float32{1, 2, 4})
 	if a == b {
 		t.Fatal("checksum failed to distinguish different payloads")
+	}
+}
+
+func TestChaosTreeCollectivesParity(t *testing.T) {
+	// The tree collectives multiplied the distinct (sender, receiver)
+	// pairs a collective exercises — every tree edge, not just
+	// root-to-leaf — so each edge now runs the reliable-transport
+	// simulation independently. Parity check: a chaos-hammered world
+	// must produce bit-identical collective results to a fault-free
+	// one, across ragged world sizes, rotating roots, and interleaved
+	// barriers (which are message-free and must neither trip chaos nor
+	// be perturbed by it).
+	run := func(w *World, P int) [][]float64 {
+		out := make([][]float64, P)
+		w.Run(func(c *Comm) {
+			var acc []float64
+			for round := 0; round < 4; round++ {
+				root := (round * 5) % P
+				buf := make([]float32, 3)
+				if c.Rank() == root {
+					buf[0], buf[1], buf[2] = float32(round), 2, 3
+				}
+				c.Bcast(buf, root)
+				acc = append(acc, float64(buf[0]), float64(buf[1]), float64(buf[2]))
+				c.Barrier()
+				red := c.Reduce([]float64{float64(c.Rank() + round)}, Sum, root)
+				if c.Rank() == root {
+					acc = append(acc, red...)
+				}
+				all := c.Allreduce([]float64{float64(c.Rank()), -float64(c.Rank())}, Min)
+				acc = append(acc, all...)
+				c.Barrier()
+			}
+			out[c.Rank()] = acc
+		})
+		return out
+	}
+	for _, P := range []int{3, 8, 23} {
+		clean := run(NewWorld(P), P)
+		chaotic := NewWorld(P)
+		chaotic.InjectChaos(ChaosPlan{
+			Seed: 77, DropProb: 0.12, CorruptProb: 0.1, DelayProb: 0.05,
+			MaxDelay: 50 * time.Microsecond, RetryBackoff: time.Microsecond,
+		})
+		dirty := run(chaotic, P)
+		for r := 0; r < P; r++ {
+			if len(clean[r]) != len(dirty[r]) {
+				t.Fatalf("P=%d rank %d: result length diverged", P, r)
+			}
+			for i := range clean[r] {
+				if math.Float64bits(clean[r][i]) != math.Float64bits(dirty[r][i]) {
+					t.Fatalf("P=%d rank %d lane %d: chaos-on %v != chaos-off %v",
+						P, r, i, dirty[r][i], clean[r][i])
+				}
+			}
+		}
+		if st := chaotic.ChaosStats(); st.Dropped+st.Corrupted == 0 {
+			t.Fatalf("P=%d: chaos never fired on the tree collectives", P)
+		}
 	}
 }

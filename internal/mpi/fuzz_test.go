@@ -1,6 +1,10 @@
 package mpi
 
-import "testing"
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
 
 // FuzzBufpoolClasses checks the half-step size-class arithmetic that the
 // buffer-lending pool relies on: a Get must always receive enough
@@ -71,5 +75,115 @@ func FuzzBufpoolClasses(f *testing.F) {
 			t.Fatalf("GetBuffer(%d) after recycle: len = %d", capc, len(b2))
 		}
 		PutBuffer(b2)
+	})
+}
+
+// FuzzTreeAllreduce drives arbitrary float64 vectors through the
+// binomial-tree Allreduce and checks the split-float (hi/lo float32
+// pair) payload encoding survives the multi-hop schedule: unlike the
+// flat reduce, a tree accumulator is unpacked, combined, and re-packed
+// at every level, so any non-idempotence in the encoding would compound
+// along the path. Properties: every rank returns the identical vector,
+// the result matches a serially computed reference within the
+// encoding's precision, and all-zero lanes (the LTS zero-filled
+// sentinel wire format of solver/lts.go) come back exactly zero.
+func FuzzTreeAllreduce(f *testing.F) {
+	// Seed: the LTS rate-assignment case — a Max reduction over a
+	// zero-filled sentinel vector where each rank owns one lane holding
+	// its (always positive) stable dt.
+	ltsSeed := make([]byte, 4*8)
+	binary.LittleEndian.PutUint64(ltsSeed[0:], math.Float64bits(3.61e-3))
+	binary.LittleEndian.PutUint64(ltsSeed[8:], math.Float64bits(0))
+	binary.LittleEndian.PutUint64(ltsSeed[16:], math.Float64bits(7.2e-3))
+	binary.LittleEndian.PutUint64(ltsSeed[24:], math.Float64bits(0))
+	f.Add(7, 0, ltsSeed)
+	f.Add(2, 1, []byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add(8, 2, ltsSeed[:8])
+	f.Add(9, 0, []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	f.Fuzz(func(t *testing.T, p, opSel int, raw []byte) {
+		if p < 0 {
+			p = -p
+		}
+		P := 2 + p%8 // real worlds of 2..9 ranks: even, odd, ragged trees
+		lanes := len(raw) / 8
+		if lanes == 0 {
+			return
+		}
+		if lanes > 8 {
+			lanes = 8
+		}
+		base := make([]float64, lanes)
+		for i := range base {
+			v := math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			// Keep magnitudes where float32 hi/lo splitting is exact
+			// enough to reason about (the transport's documented domain).
+			if math.Abs(v) > 1e30 {
+				v = math.Mod(v, 1e30)
+			}
+			base[i] = v
+		}
+		ops := []Op{Max, Min, Sum}
+		opNames := []string{"max", "min", "sum"}
+		if opSel < 0 {
+			opSel = -opSel
+		}
+		op := ops[opSel%3]
+		opName := opNames[opSel%3]
+
+		// Rank r contributes base scaled by a rank-dependent factor, so
+		// lanes disagree across ranks; encode through the same packing
+		// the wire uses so the serial reference sees what ranks hold.
+		contrib := func(r, lane int) float64 {
+			v := base[lane] * (1 + float64(r)/8)
+			hi := float32(v)
+			return float64(hi) + float64(float32(v-float64(hi)))
+		}
+		ref := make([]float64, lanes)
+		for lane := 0; lane < lanes; lane++ {
+			acc := contrib(0, lane)
+			for r := 1; r < P; r++ {
+				acc = op(acc, contrib(r, lane))
+			}
+			ref[lane] = acc
+		}
+
+		results := make([][]float64, P)
+		w := NewWorld(P)
+		w.Run(func(c *Comm) {
+			in := make([]float64, lanes)
+			for lane := range in {
+				in[lane] = contrib(c.Rank(), lane)
+			}
+			results[c.Rank()] = c.Allreduce(in, op)
+		})
+
+		for r := 1; r < P; r++ {
+			for lane := 0; lane < lanes; lane++ {
+				if math.Float64bits(results[r][lane]) != math.Float64bits(results[0][lane]) {
+					t.Fatalf("%s P=%d: rank %d lane %d = %g, rank 0 = %g (not identical)",
+						opName, P, r, lane, results[r][lane], results[0][lane])
+				}
+			}
+		}
+		for lane := 0; lane < lanes; lane++ {
+			got, want := results[0][lane], ref[lane]
+			if want == 0 {
+				if got != 0 {
+					t.Fatalf("%s P=%d lane %d: zero reference came back %g", opName, P, lane, got)
+				}
+				continue
+			}
+			// Sum re-packs partial sums at every tree level; each
+			// round trip is bounded by one float32 ulp of the lo word,
+			// compounding over ceil(log2 P)+1 hops.
+			tol := 1e-12 * math.Abs(want) * float64(P)
+			if math.Abs(got-want) > tol {
+				t.Fatalf("%s P=%d lane %d: got %.17g want %.17g (|diff|=%g > tol %g)",
+					opName, P, lane, got, want, math.Abs(got-want), tol)
+			}
+		}
 	})
 }

@@ -69,8 +69,14 @@ func newInbox() *inbox {
 
 // World is a set of ranks that can communicate.
 type World struct {
-	size    int
-	inboxes []*inbox
+	size int
+	// inboxes are allocated lazily, on a rank's first send or receive:
+	// at O(10^4) ranks the eager per-rank inbox (mutex + cond + queue
+	// header) dominated NewWorld cost, and most ranks of a sparse
+	// communication pattern (ring halos, tree collectives) only ever
+	// talk to a handful of peers. An idle rank costs one atomic pointer
+	// word here plus one barrier-tree node — well under 1 KB.
+	inboxes []atomic.Pointer[inbox]
 	chaos   *chaosEngine // nil: fault-free transport
 	aborted atomic.Bool
 
@@ -84,23 +90,51 @@ type World struct {
 	sentMsgs   atomic.Uint64
 	sentFloats atomic.Uint64
 
+	// Legacy centralized barrier (one mutex + one condvar shared by all
+	// ranks). Kept as BarrierConvoy so benchtab -exp scale can measure
+	// the convoy against the combining tree that Barrier now uses; the
+	// tree itself lives in barrier (collectives.go), built lazily under
+	// barrierMu.
 	barrierMu   sync.Mutex
 	barrierCond *sync.Cond
 	barrierCnt  int
 	barrierGen  int
+	barrier     atomic.Pointer[barrierTree]
 }
 
-// NewWorld creates a world with the given number of ranks.
+// NewWorld creates a world with the given number of ranks. Creation is
+// O(1) allocations and O(size) words: per-rank state (inboxes, barrier
+// tree nodes) materializes on first use.
 func NewWorld(size int) *World {
 	if size <= 0 {
 		panic(fmt.Sprintf("mpi: invalid world size %d", size))
 	}
-	w := &World{size: size, inboxes: make([]*inbox, size)}
-	for i := range w.inboxes {
-		w.inboxes[i] = newInbox()
-	}
+	w := &World{size: size, inboxes: make([]atomic.Pointer[inbox], size)}
 	w.barrierCond = sync.NewCond(&w.barrierMu)
 	return w
+}
+
+// inboxAt returns rank r's inbox, creating it on first use. Creation
+// races with Abort: the CAS publishes the inbox first, then re-checks
+// the aborted flag, so either Abort's sweep observes the published
+// inbox and closes it, or the creator observes aborted and closes it
+// itself — a send/recv can never block on an open inbox of an aborted
+// world.
+func (w *World) inboxAt(r int) *inbox {
+	if b := w.inboxes[r].Load(); b != nil {
+		return b
+	}
+	b := newInbox()
+	if !w.inboxes[r].CompareAndSwap(nil, b) {
+		return w.inboxes[r].Load()
+	}
+	if w.aborted.Load() {
+		b.mu.Lock()
+		b.closed = true
+		b.cond.Broadcast()
+		b.mu.Unlock()
+	}
+	return b
 }
 
 // Size returns the number of ranks.
@@ -264,7 +298,11 @@ func panicToError(p any) error {
 // Reset.
 func (w *World) Abort() {
 	w.aborted.Store(true)
-	for _, b := range w.inboxes {
+	for i := range w.inboxes {
+		b := w.inboxes[i].Load()
+		if b == nil {
+			continue
+		}
 		b.mu.Lock()
 		b.closed = true
 		b.cond.Broadcast()
@@ -275,6 +313,9 @@ func (w *World) Abort() {
 	w.barrierCnt = 0
 	w.barrierCond.Broadcast()
 	w.barrierMu.Unlock()
+	if t := w.barrier.Load(); t != nil {
+		t.abort()
+	}
 }
 
 // Reset rearms an aborted world for another Run: all queued messages are
@@ -285,7 +326,11 @@ func (w *World) Abort() {
 // and the per-rank decision streams continue, so a replay does not
 // re-suffer identical faults forever.
 func (w *World) Reset() {
-	for _, b := range w.inboxes {
+	for i := range w.inboxes {
+		b := w.inboxes[i].Load()
+		if b == nil {
+			continue
+		}
 		b.mu.Lock()
 		clear(b.queue)
 		b.queue = b.queue[:0]
@@ -297,6 +342,9 @@ func (w *World) Reset() {
 	w.barrierGen++
 	w.barrierCnt = 0
 	w.barrierMu.Unlock()
+	if t := w.barrier.Load(); t != nil {
+		t.reset()
+	}
 	w.aborted.Store(false)
 }
 
@@ -399,7 +447,7 @@ func (c *Comm) enqueue(dst, tag int, data []float32, sum uint64) {
 		sent = telemetry.Now()
 		c.tel.CountSent(dst, len(data))
 	}
-	b := c.world.inboxes[dst]
+	b := c.world.inboxAt(dst)
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
@@ -514,7 +562,7 @@ func (c *Comm) noteRecv(m message) {
 // scan resumes, waiting for the sender's retransmission — the receiver
 // half of the reliable-transport simulation.
 func (c *Comm) takeMatch(src, tag int) (message, error) {
-	b := c.world.inboxes[c.rank]
+	b := c.world.inboxAt(c.rank)
 	b.mu.Lock()
 	defer b.mu.Unlock()
 rescan:
@@ -624,11 +672,13 @@ func Waitall(reqs []*Request) {
 	}
 }
 
-// Barrier blocks until every rank in the world has entered it. On an
-// aborted world it panics with ErrWorldAborted (a released waiter must
-// not proceed as if the barrier completed), converted to an error at
-// the Run/RunErr boundary.
-func (c *Comm) Barrier() {
+// BarrierConvoy is the legacy centralized barrier: one mutex, one
+// condvar, one generation counter shared by every rank. At O(10^4)
+// ranks the single lock serializes arrival and the final Broadcast
+// wakes all P-1 waiters into a convoy on that same lock. Kept so the
+// scale benchmark (benchtab -exp scale) can measure it against the
+// combining tree that Barrier uses; new code should call Barrier.
+func (c *Comm) BarrierConvoy() {
 	w := c.world
 	w.barrierMu.Lock()
 	gen := w.barrierGen
@@ -658,20 +708,6 @@ const (
 	tagAll    = -103
 )
 
-// Bcast broadcasts buf from root to all ranks; every rank returns with buf
-// holding root's data.
-func (c *Comm) Bcast(buf []float32, root int) {
-	if c.rank == root {
-		for r := 0; r < c.world.size; r++ {
-			if r != root {
-				c.Send(r, tagBcast, buf)
-			}
-		}
-		return
-	}
-	c.MustRecv(buf, root, tagBcast)
-}
-
 // Op is a reduction operator.
 type Op func(a, b float64) float64
 
@@ -692,46 +728,12 @@ var (
 	}
 )
 
-// Reduce combines elementwise values from all ranks at root with op.
-// Non-root ranks return their input unchanged; root returns the reduction.
-func (c *Comm) Reduce(vals []float64, op Op, root int) []float64 {
-	f32 := make([]float32, 2*len(vals))
-	packF64(vals, f32)
-	if c.rank != root {
-		c.Send(root, tagReduce, f32)
-		return vals
-	}
-	acc := append([]float64(nil), vals...)
-	tmp := make([]float32, len(f32))
-	other := make([]float64, len(vals))
-	for r := 0; r < c.world.size; r++ {
-		if r == root {
-			continue
-		}
-		c.MustRecv(tmp, r, tagReduce)
-		unpackF64(tmp, other)
-		for i := range acc {
-			acc[i] = op(acc[i], other[i])
-		}
-	}
-	return acc
-}
-
-// Allreduce performs Reduce at rank 0 then broadcasts the result.
-func (c *Comm) Allreduce(vals []float64, op Op) []float64 {
-	res := c.Reduce(vals, op, 0)
-	f32 := make([]float32, 2*len(vals))
-	if c.rank == 0 {
-		packF64(res, f32)
-	}
-	c.Bcast(f32, 0)
-	out := make([]float64, len(vals))
-	unpackF64(f32, out)
-	return out
-}
-
 // Gather collects each rank's data at root. Root receives a slice of
-// per-rank payloads indexed by rank; other ranks receive nil.
+// per-rank payloads indexed by rank; other ranks receive nil. Gather
+// stays flat (every rank sends directly to root): the payloads are
+// unequal-sized and root materializes all of them anyway, so a tree
+// would only add store-and-forward copies without reducing root's O(P)
+// memory or message count.
 func (c *Comm) Gather(data []float32, root int) [][]float32 {
 	if c.rank != root {
 		c.Send(root, tagGather, data)
@@ -780,7 +782,7 @@ func unpackF64(src []float32, dst []float64) {
 // SortedTags returns the distinct tags currently queued in this rank's
 // inbox, sorted; a test/debug helper.
 func (c *Comm) SortedTags() []int {
-	b := c.world.inboxes[c.rank]
+	b := c.world.inboxAt(c.rank)
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	seen := map[int]bool{}

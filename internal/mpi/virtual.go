@@ -1,0 +1,181 @@
+package mpi
+
+// VirtualWorld tracks per-rank virtual clocks for hybrid model-execution
+// scaling: a small sampled subset of ranks executes real kernels on a
+// real World, and the remaining ranks exist only as clocks advanced by
+// modeled step times (internal/perfmodel prices them from constants
+// measured on the sampled ranks). This is how the repo reproduces the
+// paper's Fig. 5/6 curves at P = O(10^4) without O(10^4) cores: the
+// expensive part of a rank — its kernels and buffers — runs only for
+// the sample, while the scaling-relevant part — where time goes at
+// rank granularity — is carried for everyone.
+//
+// VirtualWorld is deliberately passive (no goroutines, no locks): the
+// hybrid driver advances clocks rank by rank, and a step of the virtual
+// ensemble completes when every clock has advanced. Skew between the
+// fastest and slowest clock is exactly the load imbalance the modeled
+// MPI_Waitall/barrier terms wait out.
+type VirtualWorld struct {
+	total   int
+	sampled []int
+	isSamp  []bool
+	clock   []float64 // virtual seconds per rank
+	steps   []int     // virtual steps completed per rank
+}
+
+// NewVirtualWorld creates a virtual ensemble of total ranks of which
+// sampled (a list of rank ids) execute for real. Duplicate or
+// out-of-range sample ids panic.
+func NewVirtualWorld(total int, sampled []int) *VirtualWorld {
+	if total <= 0 {
+		panic("mpi: invalid virtual world size")
+	}
+	v := &VirtualWorld{
+		total:  total,
+		isSamp: make([]bool, total),
+		clock:  make([]float64, total),
+		steps:  make([]int, total),
+	}
+	for _, r := range sampled {
+		if r < 0 || r >= total {
+			panic("mpi: sampled rank out of range")
+		}
+		if v.isSamp[r] {
+			panic("mpi: duplicate sampled rank")
+		}
+		v.isSamp[r] = true
+		v.sampled = append(v.sampled, r)
+	}
+	return v
+}
+
+// Total returns the ensemble size (real + virtual ranks).
+func (v *VirtualWorld) Total() int { return v.total }
+
+// Sampled returns the ids of the ranks that execute for real, in the
+// order given to NewVirtualWorld.
+func (v *VirtualWorld) Sampled() []int { return v.sampled }
+
+// IsSampled reports whether rank r executes real kernels.
+func (v *VirtualWorld) IsSampled(r int) bool { return v.isSamp[r] }
+
+// Advance moves rank r's virtual clock forward by dt seconds (one step,
+// measured for sampled ranks, modeled for the rest).
+func (v *VirtualWorld) Advance(r int, dt float64) {
+	v.clock[r] += dt
+	v.steps[r]++
+}
+
+// Time returns rank r's virtual clock.
+func (v *VirtualWorld) Time(r int) float64 { return v.clock[r] }
+
+// Steps returns the number of steps rank r has completed.
+func (v *VirtualWorld) Steps(r int) int { return v.steps[r] }
+
+// MaxTime returns the slowest rank's clock — the ensemble's wall time,
+// since a synchronized step completes only when the last rank does.
+func (v *VirtualWorld) MaxTime() float64 {
+	m := 0.0
+	for _, t := range v.clock {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// Skew returns MaxTime minus the fastest rank's clock: the virtual load
+// imbalance the sync terms of Eq. 7 absorb.
+func (v *VirtualWorld) Skew() float64 {
+	if v.total == 0 {
+		return 0
+	}
+	lo, hi := v.clock[0], v.clock[0]
+	for _, t := range v.clock[1:] {
+		if t < lo {
+			lo = t
+		}
+		if t > hi {
+			hi = t
+		}
+	}
+	return hi - lo
+}
+
+// SampleStrata picks up to n rank ids from topology t, stratified by
+// communication role: ranks are grouped by their number of in-grid
+// neighbors (corner 3, edge 4, face 5, interior 6 on a 3D topology —
+// fewer on degenerate ones), every non-empty stratum contributes at
+// least one rank, and remaining slots are filled proportionally with
+// evenly spaced picks inside each stratum. A hybrid run that sampled
+// only interior ranks would never measure boundary-rank imbalance; a
+// corner-only sample would miss the interior steady state. The
+// selection is deterministic.
+func SampleStrata(t Cart, n int) []int {
+	total := t.PX * t.PY * t.PZ
+	if n >= total {
+		out := make([]int, total)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	if n <= 0 {
+		return nil
+	}
+	// Group ranks by neighbor count (0..6).
+	var strata [7][]int
+	for r := 0; r < total; r++ {
+		nn := 0
+		for axis := 0; axis < 3; axis++ {
+			if t.Neighbor(r, axis, -1) >= 0 {
+				nn++
+			}
+			if t.Neighbor(r, axis, +1) >= 0 {
+				nn++
+			}
+		}
+		strata[nn] = append(strata[nn], r)
+	}
+	var nonEmpty [][]int
+	for _, s := range strata {
+		if len(s) > 0 {
+			nonEmpty = append(nonEmpty, s)
+		}
+	}
+	// One pick per stratum first; distribute the rest proportionally
+	// (largest remainder), then select evenly spaced members.
+	take := make([]int, len(nonEmpty))
+	used := 0
+	for i := range nonEmpty {
+		if used < n {
+			take[i] = 1
+			used++
+		}
+	}
+	for used < n {
+		best, bestGap := -1, -1.0
+		for i, s := range nonEmpty {
+			if take[i] >= len(s) {
+				continue
+			}
+			gap := float64(len(s)) / float64(take[i])
+			if gap > bestGap {
+				best, bestGap = i, gap
+			}
+		}
+		if best < 0 {
+			break
+		}
+		take[best]++
+		used++
+	}
+	var out []int
+	for i, s := range nonEmpty {
+		k := take[i]
+		for j := 0; j < k; j++ {
+			out = append(out, s[j*len(s)/k])
+		}
+	}
+	return out
+}

@@ -68,6 +68,12 @@ const (
 	// local time stepping: blending buffered coarse-neighbor face
 	// sections in time and writing them into the ghost region.
 	Interp
+	// Collective is time inside mpi tree collectives (Bcast, Reduce,
+	// Allreduce): the dt/vp-max reductions of solver setup and the
+	// timing/moment-rate reductions of result collection, which were
+	// previously invisible to the phase split. Barriers are not counted
+	// here — the solver wraps them in Sync spans.
+	Collective
 
 	numPhases
 )
@@ -78,7 +84,7 @@ const NumPhases = int(numPhases)
 var phaseNames = [NumPhases]string{
 	"velocity", "stress", "attenuation", "boundary", "pack", "send",
 	"recv", "unpack", "sync", "output", "io", "checkpoint",
-	"queue-wait", "execute", "recovery", "interp",
+	"queue-wait", "execute", "recovery", "interp", "collective",
 }
 
 func (p Phase) String() string {
