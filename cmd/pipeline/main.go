@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 
+	"repro/internal/agg"
 	"repro/internal/core/solver"
 	"repro/internal/core/source"
 	"repro/internal/cvm"
@@ -20,7 +21,6 @@ import (
 	"repro/internal/meshgen"
 	"repro/internal/meshpart"
 	"repro/internal/mpi"
-	"repro/internal/output"
 	"repro/internal/pfs"
 	"repro/internal/srcgen"
 	"repro/internal/workflow"
@@ -32,22 +32,32 @@ func main() {
 	nz := flag.Int("nz", 16, "grid cells in z")
 	ranks := flag.Int("ranks", 4, "solver ranks")
 	steps := flag.Int("steps", 200, "time steps")
+	aggs := flag.Int("aggregators", 2, "aggregator (writer) ranks for two-phase collective output")
+	throttle := flag.Int("throttle", agg.DefaultOpenThrottle, "max concurrent file opens per I/O phase")
+	stripeCount := flag.Int("stripe-count", 0, "stripe count for output files (0: all OSTs)")
+	stripeSize := flag.Int("stripe-size", 4<<20, "stripe size in bytes for output files")
+	chunkPlanes := flag.Int("chunk-planes", 2, "z-planes held live per core in streaming mesh extraction")
 	flag.Parse()
 
+	aggCfg := agg.Config{Aggregators: *aggs, OpenThrottle: *throttle}
 	h := 400.0
 	g := grid.Dims{NX: *nx, NY: *ny, NZ: *nz}
 	scratch := pfs.New(pfs.Jaguar())
-	scratch.SetStripe("in/", 0, 1<<20)  // wide stripe for shared input
-	scratch.SetStripe("out/", 0, 4<<20) // wide stripe for outputs
+	scratch.SetStripe("in/", 0, 1<<20) // wide stripe for shared input
+	scratch.SetStripe("out/", *stripeCount, *stripeSize)
 	q := cvm.SoCal(float64(g.NX-1)*h, float64(g.NY-1)*h, float64(g.NZ-1)*h, 500)
 
-	// --- CVM2MESH ---
-	mst, err := meshgen.Generate(scratch, q, meshgen.Spec{
-		Path: "in/mesh.bin", Global: g, H: h, Cores: 4,
+	// --- CVM2MESH (out-of-core streaming extraction, §IV.E) ---
+	mst, err := meshgen.GenerateStreamed(scratch, q, meshgen.StreamSpec{
+		Spec:        meshgen.Spec{Path: "in/mesh.bin", Global: g, H: h, Cores: 4},
+		ChunkPlanes: *chunkPlanes,
+		Agg:         aggCfg,
 	})
 	check(err)
-	fmt.Printf("CVM2MESH:  %d points (%.1f MB) extracted; write phase %.3fs @ %.2f GB/s\n",
-		mst.Points, float64(mst.Bytes)/1e6, mst.WritePhase.Elapsed, mst.WritePhase.Throughput/1e9)
+	fmt.Printf("CVM2MESH:  %d points (%.1f MB) streamed in %d rounds, peak %.1f KB/core; "+
+		"%d writers, %d opens; write phase %.3fs @ %.2f GB/s\n",
+		mst.Points, float64(mst.Bytes)/1e6, mst.Rounds, float64(mst.PeakCoreBytes)/1e3,
+		mst.Writers, mst.Opens, mst.WritePhase.Elapsed, mst.WritePhase.Throughput/1e9)
 
 	// --- PetaMeshP (both I/O models) ---
 	topo := mpi.NewCart(2, 2, 1)
@@ -56,9 +66,10 @@ func main() {
 	}
 	dc, err := decomp.New(g, topo)
 	check(err)
-	pst, err := meshpart.PrePartition(scratch, "in/mesh.bin", "parts", g, dc)
+	pst, sst, err := meshpart.StreamPrePartition(scratch, "in/mesh.bin", "parts", g, dc, *throttle)
 	check(err)
-	fmt.Printf("PetaMeshP: pre-partitioned to %d files; %.3fs\n", topo.Size(), pst.Elapsed)
+	fmt.Printf("PetaMeshP: stream-partitioned to %d files in %d waves, peak %.1f KB live; %.3fs\n",
+		topo.Size(), sst.Waves, float64(sst.PeakBytes)/1e3, pst.Elapsed)
 	_, ost, err := meshpart.OnDemand(scratch, "in/mesh.bin", g, dc, 2, 1)
 	check(err)
 	fmt.Printf("PetaMeshP: on-demand MPI-IO read %.1f MB in %.3fs (readers: 2)\n",
@@ -81,12 +92,17 @@ func main() {
 	fmt.Printf("PetaSrcP:  memory high water %.2f MB vs %.2f MB unsplit (%d temporal loops)\n",
 		float64(srcgen.HighWater(segs))/1e6, float64(srcgen.MemoryBytes(srcs))/1e6, len(segs))
 
-	// --- AWM solve ---
+	// --- AWM solve with in-band aggregated surface output ---
 	res, err := solver.Run(q, solver.Options{
 		Global: g, H: h, Steps: *steps, Topo: topo,
 		Comm: solver.AsyncReduced, ABC: solver.SpongeABC, SpongeWidth: 6,
 		FreeSurface: true, Attenuation: true,
 		Sources: srcs, TrackPGV: true,
+		Surface: &solver.SurfaceOptions{
+			FS: scratch, Path: "out/surface.bin",
+			Every: 10, FlushEvery: 5,
+			Agg: aggCfg,
+		},
 	})
 	check(err)
 	var pgvMax float64
@@ -98,18 +114,12 @@ func main() {
 	fmt.Printf("AWM:       %d steps on %d ranks; PGVH max %.3f m/s; comp %.2fs comm %.2fs\n",
 		res.Steps, topo.Size(), pgvMax, res.Timing.Comp, res.Timing.Comm)
 
-	// --- Aggregated surface output with checksums ---
-	agg := output.NewAggregator(scratch, "out/surface.bin", 50)
-	rec := make([]float32, g.NX*g.NY)
-	for i := range rec {
-		rec[i] = float32(res.PGVH[i])
-	}
-	for s := 0; s < 200; s++ {
-		agg.Append(rec)
-	}
-	agg.Flush()
-	fmt.Printf("Output:    %.1f MB aggregated into %d flushes, I/O time %.3fs, %d MD5 chunks\n",
-		float64(agg.BytesWritten())/1e6, agg.Flushes(), agg.IOStats.Elapsed, len(agg.Checksums))
+	// --- Two-phase aggregated surface output with per-stripe checksums ---
+	so := res.Surface
+	fmt.Printf("Output:    %.1f MB surface velocity in %d frames -> %d aggregated flushes "+
+		"(%d opens, max %d concurrent), %d stripe checksums, I/O time %.3fs\n",
+		float64(so.Bytes)/1e6, so.Frames, so.Flushes,
+		so.Opens, so.MaxConcurrentOpens, len(so.Stripes), so.Phase.Elapsed)
 
 	// --- E2EaW archive: transfer to the archive site and ingest ---
 	src := workflow.Site{Name: "jaguar-scratch", FS: scratch}

@@ -1,0 +1,561 @@
+// Package agg is the two-phase aggregated collective I/O layer of the
+// paper's §IV.E I/O engineering: instead of every rank opening the shared
+// output file itself (hundreds of thousands of concurrent opens — the
+// MDS-degradation pathology), ranks ship their mpiio.Segment file views
+// over internal/mpi to a small set of aggregator ("writer") ranks, which
+// coalesce adjacent extents into large stripe-aligned writes, pay the
+// only file opens of the phase, and emit per-stripe CRC64/MD5 checksums
+// for the end-to-end output-verification story.
+//
+// Placement is striping-aware: the stripe columns of the target file
+// (column c holds every stripe with index ≡ c mod stripeCount, and all
+// of column c's bytes land on one OST) are divided into contiguous
+// blocks, one block per writer — so each OST sees exactly one writer
+// stream and a writer's extents coalesce into runs of whole stripes.
+// Writer count is therefore capped at the stripe count; extra configured
+// aggregators would put a second stream on some OST and are not used.
+//
+// A reader/writer open throttle (default 650, the Jaguar limit AWP-ODC
+// shipped with) bounds how many file opens one synchronized phase may
+// present to the metadata server: phases with more opens are split into
+// sequential waves. ThrottledPhase exposes the same wave pricing for
+// read phases (mesh partitioning, restart).
+package agg
+
+import (
+	"crypto/md5"
+	"encoding/hex"
+	"fmt"
+	"hash/crc64"
+	"sort"
+
+	"repro/internal/mpi"
+	"repro/internal/mpiio"
+	"repro/internal/pfs"
+	"repro/internal/telemetry"
+)
+
+// DefaultOpenThrottle is the concurrent-open limit AWP-ODC used on
+// Jaguar (≤650 readers kept the Lustre MDS out of its degraded regime).
+const DefaultOpenThrottle = 650
+
+// defaultTag is the base message tag of the shipment phase, disjoint
+// from the solver's halo (0..), coalesced (4096+), deep-halo and
+// meshpart (7000+) tag spaces.
+const defaultTag = 1 << 20
+
+// Config tunes one collective aggregated write.
+type Config struct {
+	// Aggregators is the requested writer-rank count. 0 defaults to
+	// min(ranks, stripe count); any value is additionally capped at the
+	// stripe count (one writer stream per OST) and the rank count.
+	Aggregators int
+	// OpenThrottle bounds concurrent opens per pricing wave. 0 defaults
+	// to DefaultOpenThrottle (650).
+	OpenThrottle int
+	// Tag overrides the base message tag (0 = default). Two concurrent
+	// collective writes on one communicator must use distinct tags.
+	Tag int
+}
+
+func (c Config) throttle() int {
+	if c.OpenThrottle <= 0 {
+		return DefaultOpenThrottle
+	}
+	return c.OpenThrottle
+}
+
+func (c Config) tag() int {
+	if c.Tag == 0 {
+		return defaultTag
+	}
+	return c.Tag
+}
+
+// StripeChecksum is the integrity record of one stripe-sized extent of
+// the written file: CRC64-ECMA (the checkpoint-format polynomial) and
+// MD5 (the paper's §III.E integrity pass).
+type StripeChecksum struct {
+	Index int    // stripe index (byte range [Index*size, (Index+1)*size))
+	CRC64 uint64
+	MD5   string // hex
+}
+
+// WriteStats summarizes one collective aggregated write. Every rank
+// returns identical scalar stats; Stripes is populated on rank 0 only.
+type WriteStats struct {
+	Bytes        int // payload bytes of the collective view
+	Segments     int // input segments across all ranks
+	ShippedBytes int // payload bytes shipped to a remote writer rank
+	Writers      int // aggregator ranks that issued writes
+	Writes       int // coalesced writes issued to the PFS
+	Opens        int // file opens charged (= Writers)
+	Waves        int // open-throttle waves of the priced phase
+	MaxConcurrentOpens int
+	Phase        pfs.PhaseStats // virtual cost of the aggregated phase
+	Stripes      []StripeChecksum
+}
+
+// Placement maps file offsets to writer ranks, striping-aware.
+type Placement struct {
+	StripeCount int
+	StripeSize  int
+	Writers     int // active writer ranks (writer w is comm rank w)
+}
+
+// NewPlacement resolves the active writer count for a file with the
+// given striping on a communicator of `ranks`, requesting `aggregators`
+// writers (0 = as many as striping allows).
+func NewPlacement(stripeCount, stripeSize, aggregators, ranks int) Placement {
+	w := aggregators
+	if w <= 0 || w > stripeCount {
+		w = stripeCount
+	}
+	if w > ranks {
+		w = ranks
+	}
+	return Placement{StripeCount: stripeCount, StripeSize: stripeSize, Writers: w}
+}
+
+// Owner returns the writer rank responsible for the byte at off: the
+// owner of the stripe column the byte falls in. Columns are divided into
+// contiguous blocks of ~count/Writers columns each.
+func (p Placement) Owner(off int) int {
+	col := (off / p.StripeSize) % p.StripeCount
+	return col * p.Writers / p.StripeCount
+}
+
+// piece is one contiguous extent with its payload.
+type piece struct {
+	off  int
+	data []byte
+}
+
+// splitByOwner cuts a rank's view into per-writer piece lists, splitting
+// segments only where stripe ownership changes.
+func (p Placement) splitByOwner(segs []mpiio.Segment, data []byte) [][]piece {
+	out := make([][]piece, p.Writers)
+	pos := 0
+	for _, s := range segs {
+		off, remaining := s.Off, s.Len
+		for remaining > 0 {
+			owner := p.Owner(off)
+			// Extend while ownership is unchanged: ownership can only
+			// change at stripe boundaries.
+			n := p.StripeSize - off%p.StripeSize
+			if n > remaining {
+				n = remaining
+			}
+			for n < remaining {
+				next := p.StripeSize
+				if rest := remaining - n; next > rest {
+					next = rest
+				}
+				if p.Owner(off+n) != owner {
+					break
+				}
+				n += next
+			}
+			pl := out[owner]
+			if k := len(pl) - 1; k >= 0 && pl[k].off+len(pl[k].data) == off {
+				// Contiguous with the previous piece for this owner:
+				// extend in place so the wire header stays small.
+				pl[k].data = append(pl[k].data, data[pos:pos+n]...)
+			} else {
+				out[owner] = append(pl, piece{off: off, data: data[pos : pos+n]})
+			}
+			pos += n
+			off += n
+			remaining -= n
+		}
+	}
+	return out
+}
+
+// Coalesce sorts a segment list by offset and merges contiguous
+// neighbors (next.Off == prev.Off+prev.Len) — the writer-side extent
+// merge, exposed pure so it can be fuzzed against the naive write path.
+// Overlapping segments are invalid views and panic.
+func Coalesce(segs []mpiio.Segment) []mpiio.Segment {
+	if len(segs) == 0 {
+		return nil
+	}
+	sorted := append([]mpiio.Segment(nil), segs...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].Off < sorted[b].Off })
+	out := sorted[:1]
+	for _, s := range sorted[1:] {
+		last := &out[len(out)-1]
+		switch {
+		case s.Off == last.Off+last.Len:
+			last.Len += s.Len
+		case s.Off > last.Off+last.Len:
+			out = append(out, s)
+		default:
+			panic(fmt.Sprintf("agg: overlapping segments [%d,%d) and [%d,%d)",
+				last.Off, last.Off+last.Len, s.Off, s.Off+s.Len))
+		}
+	}
+	return out
+}
+
+// crcTable is the CRC64-ECMA table shared with the checkpoint format.
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// WriteIndexed is the collective two-phase aggregated write: every rank
+// of c calls it with its own view (segs may be empty on ranks with no
+// data; data length must equal the view length). Bytes are really
+// written to fsys — bit-identical to each rank writing its own view —
+// and the virtual cost of the aggregated phase is priced with the open
+// throttle applied. An optional telemetry recorder (at most one)
+// attributes the wall time to the Agg phase.
+func WriteIndexed(c *mpi.Comm, fsys *pfs.FS, path string, segs []mpiio.Segment,
+	data []byte, cfg Config, rec ...*telemetry.Recorder) (WriteStats, error) {
+	if len(rec) > 0 && rec[0] != nil {
+		defer rec[0].Span(telemetry.Agg).End()
+	}
+	if len(data) != mpiio.TotalLen(segs) {
+		return WriteStats{}, fmt.Errorf("agg: data %d bytes, view %d", len(data), mpiio.TotalLen(segs))
+	}
+
+	// Collective geometry: global file extent, totals.
+	maxEnd := 0
+	for _, s := range segs {
+		if end := s.Off + s.Len; end > maxEnd {
+			maxEnd = end
+		}
+	}
+	tot := c.Allreduce([]float64{float64(maxEnd)}, mpi.Max)
+	sums := c.Allreduce([]float64{float64(len(data)), float64(len(segs))}, mpi.Sum)
+	fileLen := int(tot[0])
+
+	st := WriteStats{Bytes: int(sums[0]), Segments: int(sums[1])}
+	if fileLen == 0 {
+		return st, nil
+	}
+
+	count, size := fsys.Stripe(path)
+	pl := NewPlacement(count, size, cfg.Aggregators, c.Size())
+	st.Writers = pl.Writers
+
+	// Phase 1: ship per-writer shipments. Every rank sends exactly one
+	// message (possibly empty) to every writer, so receive counts are
+	// deterministic without a handshake.
+	tag := cfg.tag()
+	byWriter := pl.splitByOwner(segs, data)
+	shipped := 0
+	for w := 0; w < pl.Writers; w++ {
+		msg := putInt(nil, len(byWriter[w]))
+		for _, pc := range byWriter[w] {
+			msg = putInt(msg, pc.off)
+			msg = putInt(msg, len(pc.data))
+			msg = putBytes(msg, pc.data)
+		}
+		if w != c.Rank() {
+			for _, pc := range byWriter[w] {
+				shipped += len(pc.data)
+			}
+		}
+		c.Send(w, tag, msg)
+	}
+
+	// Phase 2: writers drain the shipments, coalesce, write.
+	var writeErr error
+	var runs []mpiio.Segment
+	var stripeSums []StripeChecksum
+	if c.Rank() < pl.Writers {
+		var pieces []piece
+		for src := 0; src < c.Size(); src++ {
+			msg, _, err := c.RecvTake(src, tag)
+			if err != nil {
+				return WriteStats{}, fmt.Errorf("agg: shipment from rank %d: %w", src, err)
+			}
+			n, i := getInt(msg, 0)
+			for k := 0; k < n; k++ {
+				var off, ln int
+				off, i = getInt(msg, i)
+				ln, i = getInt(msg, i)
+				var b []byte
+				b, i = getBytes(msg, i, ln)
+				pieces = append(pieces, piece{off: off, data: b})
+			}
+		}
+		runs, writeErr = writeCoalesced(fsys, path, pieces)
+		if writeErr == nil {
+			stripeSums, writeErr = stripeChecksums(fsys, path, runs, size, fileLen)
+		}
+	}
+
+	// Gather write outcomes, run lists and stripe checksums at rank 0.
+	// Every rank participates (non-writers contribute an empty payload),
+	// so a failed writer cannot deadlock the collective.
+	payload := putInt(nil, boolInt(writeErr != nil))
+	payload = putInt(payload, len(runs))
+	for _, r := range runs {
+		payload = putInt(payload, r.Off)
+		payload = putInt(payload, r.Len)
+	}
+	payload = putInt(payload, len(stripeSums))
+	for _, s := range stripeSums {
+		payload = putInt(payload, s.Index)
+		payload = putInt(payload, int(int64(s.CRC64)))
+		payload = putBytes(payload, mustHex(s.MD5))
+	}
+	gathered := c.Gather(payload, 0)
+
+	// Rank 0 prices the aggregated phase under the open throttle and
+	// broadcasts the scalar outcome so every rank returns the same stats.
+	out := make([]float32, 26)
+	if c.Rank() == 0 {
+		var ops []pfs.Op
+		failed := 0
+		writes := 0
+		for _, p := range gathered {
+			ef, i := getInt(p, 0)
+			failed += ef
+			var n int
+			n, i = getInt(p, i)
+			open := true
+			for k := 0; k < n; k++ {
+				var off, ln int
+				off, i = getInt(p, i)
+				ln, i = getInt(p, i)
+				ops = append(ops, pfs.Op{Path: path, Off: off, Bytes: ln, Write: true, Open: open})
+				open = false
+				writes++
+			}
+			var ns int
+			ns, i = getInt(p, i)
+			for k := 0; k < ns; k++ {
+				var idx, crc int
+				idx, i = getInt(p, i)
+				crc, i = getInt(p, i)
+				var md [16]byte
+				var b []byte
+				b, i = getBytes(p, i, 16)
+				copy(md[:], b)
+				st.Stripes = append(st.Stripes, StripeChecksum{
+					Index: idx, CRC64: uint64(int64(crc)), MD5: hex.EncodeToString(md[:]),
+				})
+			}
+		}
+		sort.Slice(st.Stripes, func(a, b int) bool { return st.Stripes[a].Index < st.Stripes[b].Index })
+		opens := 0
+		for _, op := range ops {
+			if op.Open {
+				opens++
+			}
+		}
+		phase, waves := ThrottledPhase(fsys, ops, cfg.throttle())
+		st.Writes = writes
+		st.Opens = opens
+		st.Waves = waves
+		st.MaxConcurrentOpens = opens
+		if t := cfg.throttle(); st.MaxConcurrentOpens > t {
+			st.MaxConcurrentOpens = t
+		}
+		st.Phase = phase
+
+		w := putInt(nil, failed)
+		w = putInt(w, st.Writes)
+		w = putInt(w, st.Opens)
+		w = putInt(w, st.Waves)
+		w = putInt(w, st.MaxConcurrentOpens)
+		w = putInt(w, st.Phase.Bytes)
+		w = putF64(w, st.Phase.Elapsed)
+		w = putF64(w, st.Phase.MDSTime)
+		w = putF64(w, st.Phase.IOTime)
+		w = putF64(w, st.Phase.Throughput)
+		w = putF64(w, st.Phase.MaxOSTLoad)
+		copy(out, w)
+	}
+	c.Bcast(out, 0)
+	failed, i := getInt(out, 0)
+	st.Writes, i = getInt(out, i)
+	st.Opens, i = getInt(out, i)
+	st.Waves, i = getInt(out, i)
+	st.MaxConcurrentOpens, i = getInt(out, i)
+	st.Phase.Bytes, i = getInt(out, i)
+	st.Phase.Elapsed, i = getF64(out, i)
+	st.Phase.MDSTime, i = getF64(out, i)
+	st.Phase.IOTime, i = getF64(out, i)
+	st.Phase.Throughput, i = getF64(out, i)
+	st.Phase.MaxOSTLoad, _ = getF64(out, i)
+	st.ShippedBytes = int(c.Allreduce([]float64{float64(shipped)}, mpi.Sum)[0])
+
+	if writeErr != nil {
+		return st, fmt.Errorf("agg: writer rank %d: %w", c.Rank(), writeErr)
+	}
+	if failed > 0 {
+		return st, fmt.Errorf("agg: %d writer rank(s) failed the aggregated write of %s", failed, path)
+	}
+	return st, nil
+}
+
+// writeCoalesced merges pieces into maximal contiguous runs and writes
+// each run with bounded retry, returning the run extents.
+func writeCoalesced(fsys *pfs.FS, path string, pieces []piece) ([]mpiio.Segment, error) {
+	if len(pieces) == 0 {
+		return nil, nil
+	}
+	sort.Slice(pieces, func(a, b int) bool { return pieces[a].off < pieces[b].off })
+	var runs []mpiio.Segment
+	var buf []byte
+	runOff := pieces[0].off
+	retry := pfs.DefaultRetry()
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		chunk := buf
+		off := runOff
+		if err := retry.Do(func() error { return fsys.WriteAt(path, off, chunk) }); err != nil {
+			return fmt.Errorf("agg: write %s run [%d,%d): %w", path, off, off+len(chunk), err)
+		}
+		runs = append(runs, mpiio.Segment{Off: off, Len: len(chunk)})
+		return nil
+	}
+	for _, pc := range pieces {
+		switch end := runOff + len(buf); {
+		case pc.off == end:
+			buf = append(buf, pc.data...)
+		case pc.off > end:
+			if err := flush(); err != nil {
+				return runs, err
+			}
+			runOff, buf = pc.off, append(buf[:0], pc.data...)
+		default:
+			return runs, fmt.Errorf("agg: overlapping extents at offset %d (run end %d)", pc.off, end)
+		}
+	}
+	if err := flush(); err != nil {
+		return runs, err
+	}
+	return runs, nil
+}
+
+// stripeChecksums reads back the stripes covered by runs and computes
+// their CRC64/MD5 — an end-to-end pass over what actually landed, so a
+// torn write is caught here rather than trusted.
+func stripeChecksums(fsys *pfs.FS, path string, runs []mpiio.Segment, stripeSize, fileLen int) ([]StripeChecksum, error) {
+	seen := map[int]bool{}
+	var out []StripeChecksum
+	retry := pfs.DefaultRetry()
+	for _, r := range runs {
+		for s := r.Off / stripeSize; s <= (r.Off+r.Len-1)/stripeSize; s++ {
+			if seen[s] {
+				continue
+			}
+			seen[s] = true
+			lo := s * stripeSize
+			hi := lo + stripeSize
+			if hi > fileLen {
+				hi = fileLen
+			}
+			buf := make([]byte, hi-lo)
+			if err := retry.Do(func() error { return fsys.ReadAt(path, lo, buf) }); err != nil {
+				return nil, fmt.Errorf("agg: checksum read-back stripe %d: %w", s, err)
+			}
+			md := md5.Sum(buf)
+			out = append(out, StripeChecksum{
+				Index: s,
+				CRC64: crc64.Checksum(buf, crcTable),
+				MD5:   hex.EncodeToString(md[:]),
+			})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Index < out[b].Index })
+	return out, nil
+}
+
+// FileStripeChecksums computes the per-stripe checksums of an entire
+// existing file (stripe geometry from the FS) — the reference side of
+// the aggregated-vs-per-rank verification gate.
+func FileStripeChecksums(fsys *pfs.FS, path string) ([]StripeChecksum, error) {
+	n := fsys.Size(path)
+	if n < 0 {
+		return nil, fmt.Errorf("agg: %s: no such file", path)
+	}
+	_, size := fsys.Stripe(path)
+	var out []StripeChecksum
+	for s := 0; s*size < n; s++ {
+		lo := s * size
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		buf := make([]byte, hi-lo)
+		if err := fsys.ReadAt(path, lo, buf); err != nil {
+			return nil, err
+		}
+		md := md5.Sum(buf)
+		out = append(out, StripeChecksum{
+			Index: s,
+			CRC64: crc64.Checksum(buf, crcTable),
+			MD5:   hex.EncodeToString(md[:]),
+		})
+	}
+	return out, nil
+}
+
+// ThrottledPhase prices a synchronized I/O phase under a concurrent-open
+// throttle: the per-open streams (an Open op plus its following
+// non-open ops) are issued in sequential waves of at most `throttle`
+// opens, and the wave costs add. It returns the summed stats and the
+// wave count. throttle <= 0 means DefaultOpenThrottle.
+func ThrottledPhase(fsys *pfs.FS, ops []pfs.Op, throttle int) (pfs.PhaseStats, int) {
+	if throttle <= 0 {
+		throttle = DefaultOpenThrottle
+	}
+	if len(ops) == 0 {
+		return pfs.PhaseStats{}, 0
+	}
+	var total pfs.PhaseStats
+	waves := 0
+	var wave []pfs.Op
+	opens := 0
+	flush := func() {
+		if len(wave) == 0 {
+			return
+		}
+		st := fsys.SimulatePhase(wave)
+		total.Elapsed += st.Elapsed
+		total.MDSTime += st.MDSTime
+		total.IOTime += st.IOTime
+		total.Bytes += st.Bytes
+		if st.MaxOSTLoad > total.MaxOSTLoad {
+			total.MaxOSTLoad = st.MaxOSTLoad
+		}
+		waves++
+		wave = wave[:0]
+		opens = 0
+	}
+	for _, op := range ops {
+		if op.Open {
+			if opens == throttle {
+				flush()
+			}
+			opens++
+		}
+		wave = append(wave, op)
+	}
+	flush()
+	if total.Elapsed > 0 {
+		total.Throughput = float64(total.Bytes) / total.Elapsed
+	}
+	return total, waves
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func mustHex(s string) []byte {
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		panic(fmt.Sprintf("agg: bad hex %q: %v", s, err))
+	}
+	return b
+}

@@ -1,0 +1,73 @@
+// Bit-exact wire encoding for shipping byte extents over the float32
+// message runtime of internal/mpi. Integers travel as two raw 32-bit
+// words (never through a float mantissa — offsets in a 436-billion-cell
+// mesh file exceed float32's 2^24 exact-integer range), and payload
+// bytes are reinterpreted four-at-a-time as float32 bit patterns: the
+// in-process runtime copies word-for-word, so signaling-NaN patterns and
+// every other bit combination survive untouched.
+package agg
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// putInt appends v as two bit-pattern words (hi 32, lo 32).
+func putInt(w []float32, v int) []float32 {
+	u := uint64(v)
+	return append(w,
+		math.Float32frombits(uint32(u>>32)),
+		math.Float32frombits(uint32(u)))
+}
+
+// getInt reads the two-word integer at w[i], returning the value and the
+// next index.
+func getInt(w []float32, i int) (int, int) {
+	u := uint64(math.Float32bits(w[i]))<<32 | uint64(math.Float32bits(w[i+1]))
+	return int(int64(u)), i + 2
+}
+
+// putBytes appends b as packed little-endian words, padding the final
+// partial word with zeros. The byte length travels separately.
+func putBytes(w []float32, b []byte) []float32 {
+	full := len(b) / 4 * 4
+	for p := 0; p < full; p += 4 {
+		w = append(w, math.Float32frombits(binary.LittleEndian.Uint32(b[p:])))
+	}
+	if full < len(b) {
+		var last [4]byte
+		copy(last[:], b[full:])
+		w = append(w, math.Float32frombits(binary.LittleEndian.Uint32(last[:])))
+	}
+	return w
+}
+
+// wordsFor returns how many words n bytes occupy.
+func wordsFor(n int) int { return (n + 3) / 4 }
+
+// putF64 appends v as two raw 32-bit words of its IEEE-754 bit pattern
+// (bit-exact, unlike the hi/lo float32 split of the collectives).
+func putF64(w []float32, v float64) []float32 {
+	u := math.Float64bits(v)
+	return append(w,
+		math.Float32frombits(uint32(u>>32)),
+		math.Float32frombits(uint32(u)))
+}
+
+// getF64 reads the two-word float64 at w[i], returning the value and the
+// next index.
+func getF64(w []float32, i int) (float64, int) {
+	u := uint64(math.Float32bits(w[i]))<<32 | uint64(math.Float32bits(w[i+1]))
+	return math.Float64frombits(u), i + 2
+}
+
+// getBytes decodes n bytes from the words starting at w[i], returning the
+// bytes and the next word index.
+func getBytes(w []float32, i, n int) ([]byte, int) {
+	words := wordsFor(n)
+	out := make([]byte, words*4)
+	for p := 0; p < words; p++ {
+		binary.LittleEndian.PutUint32(out[4*p:], math.Float32bits(w[i+p]))
+	}
+	return out[:n], i + words
+}

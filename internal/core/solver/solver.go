@@ -4,6 +4,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/agg"
 	"repro/internal/core/attenuation"
 	"repro/internal/core/boundary"
 	"repro/internal/core/fd"
@@ -15,6 +16,9 @@ import (
 	"repro/internal/grid"
 	"repro/internal/medium"
 	"repro/internal/mpi"
+	"repro/internal/mpiio"
+	"repro/internal/output"
+	"repro/internal/pfs"
 	"repro/internal/telemetry"
 )
 
@@ -118,6 +122,13 @@ type Options struct {
 	RecordEvery int      // seismogram decimation (default 1)
 	TrackPGV    bool     // accumulate surface peak velocity maps
 
+	// Surface streams decimated free-surface velocity frames to a single
+	// file through the two-phase aggregated I/O layer (internal/agg) —
+	// the production M8 output path. nil disables it. Requires classic
+	// stepping (TemporalDepth <= 1, LTS off): frames are extracted in
+	// step lockstep across ranks because each flush is a collective.
+	Surface *SurfaceOptions
+
 	// Telemetry enables the per-rank instrumentation subsystem
 	// (internal/telemetry): span timers per phase, per-neighbor message
 	// counters, optional ring-buffered event traces, and the cross-rank
@@ -161,7 +172,32 @@ type Result struct {
 	// Telemetry is the aggregated per-phase instrumentation report; nil
 	// unless Options.Telemetry was set.
 	Telemetry *telemetry.Report
+
+	// Surface is the aggregated surface-output accounting (frames,
+	// flushes, opens, virtual phase cost, per-stripe checksums); nil
+	// unless Options.Surface was set.
+	Surface *output.DistStats
 }
+
+// SurfaceOptions configures the aggregated surface-velocity output path.
+type SurfaceOptions struct {
+	FS   *pfs.FS
+	Path string
+	// Every is the step decimation: frame f holds the state after step
+	// f·Every. <= 0 defaults to 1.
+	Every int
+	// FlushEvery is how many buffered frames trigger one collective
+	// aggregated flush. <= 0 defaults to 1 (the pathological
+	// per-step-flush mode the paper's aggregation removed).
+	FlushEvery int
+	// Agg tunes the aggregated collective write (writer count, open
+	// throttle, tag).
+	Agg agg.Config
+}
+
+// SurfaceRecBytes is the per-point record of a surface frame: vx, vy, vz
+// as float32.
+const SurfaceRecBytes = 12
 
 // Timing is the measured Eq. 7 decomposition.
 type Timing struct {
@@ -216,6 +252,8 @@ type rankState struct {
 	recorder *rupture.SlipRateHistoryRecorder
 
 	lts *ltsRank // non-nil when Options.LTS.Enabled
+
+	surf *output.Dist // aggregated surface output (nil: disabled)
 
 	receivers []ownedReceiver
 	pgvh      []float64
@@ -529,6 +567,32 @@ func (rs *rankState) trackPGVRow(j int) {
 			pz[i] = a
 		}
 	}
+}
+
+// packSurfaceFrame serializes this rank's free-surface velocity
+// rectangle for one output frame: vx, vy, vz per point, x fastest then
+// y, matching the in-frame file view built in NewStepper. Returns nil on
+// ranks that own no surface points.
+func (rs *rankState) packSurfaceFrame() []byte {
+	if rs.sub.OffZ != 0 {
+		return nil
+	}
+	nx, ny := rs.sub.Local.NX, rs.sub.Local.NY
+	buf := make([]float32, nx*ny*3)
+	for j := 0; j < ny; j++ {
+		base := rs.st.VX.Idx(0, j, 0)
+		vxr := rs.st.VX.Data()[base : base+nx]
+		vyr := rs.st.VY.Data()[base : base+nx]
+		vzr := rs.st.VZ.Data()[base : base+nx]
+		o := j * nx * 3
+		for i := 0; i < nx; i++ {
+			buf[o] = vxr[i]
+			buf[o+1] = vyr[i]
+			buf[o+2] = vzr[i]
+			o += 3
+		}
+	}
+	return mpiio.PutFloat32s(buf)
 }
 
 func intersect(a, b fd.Box) fd.Box {

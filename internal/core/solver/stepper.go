@@ -12,8 +12,11 @@ import (
 	"repro/internal/core/source"
 	"repro/internal/cvm"
 	"repro/internal/decomp"
+	"repro/internal/grid"
 	"repro/internal/medium"
 	"repro/internal/mpi"
+	"repro/internal/mpiio"
+	"repro/internal/output"
 	"repro/internal/telemetry"
 )
 
@@ -84,6 +87,23 @@ func Prepare(opt Options) (decomp.Decomp, Options, error) {
 			}
 		}
 	}
+	if so := opt.Surface; so != nil {
+		if so.FS == nil || so.Path == "" {
+			return decomp.Decomp{}, opt, fmt.Errorf("solver: Surface output needs FS and Path")
+		}
+		if opt.TemporalDepth > 1 || opt.LTS.Enabled {
+			return decomp.Decomp{}, opt, fmt.Errorf("solver: Surface output requires classic stepping (TemporalDepth <= 1, LTS off): collective flushes need step-lockstep ranks")
+		}
+		// Normalize a copy so shared Options values are not mutated.
+		ns := *so
+		if ns.Every <= 0 {
+			ns.Every = 1
+		}
+		if ns.FlushEvery <= 0 {
+			ns.FlushEvery = 1
+		}
+		opt.Surface = &ns
+	}
 	if opt.LTS.Enabled {
 		if opt.TemporalDepth > 1 {
 			return decomp.Decomp{}, opt, fmt.Errorf("solver: LTS and TemporalDepth > 1 are mutually exclusive (pick one step-batching scheme)")
@@ -147,6 +167,7 @@ type Stepper struct {
 	step       int
 	momentRate []float64
 	tm         Timing
+	surfErr    error
 }
 
 // NewStepper builds one rank's solver state inside a world body. opt and
@@ -270,6 +291,21 @@ func NewStepper(c *mpi.Comm, q cvm.Querier, dc decomp.Decomp, opt Options) (*Ste
 	rs.pgvFolded = opt.Variant == fd.Fused && rs.sponge != nil && rs.pgvh != nil &&
 		opt.TemporalDepth <= 1
 
+	if so := opt.Surface; so != nil {
+		var segs []mpiio.Segment
+		if rs.sub.OffZ == 0 {
+			segs = mpiio.BlockSegments(grid.Dims{NX: opt.Global.NX, NY: opt.Global.NY, NZ: 1},
+				rs.sub.OffX, rs.sub.OffX+rs.sub.Local.NX,
+				rs.sub.OffY, rs.sub.OffY+rs.sub.Local.NY, 0, 1, SurfaceRecBytes)
+		}
+		frameBytes := opt.Global.NX * opt.Global.NY * SurfaceRecBytes
+		d, err := output.NewDist(c, so.FS, so.Path, frameBytes, segs, so.FlushEvery, so.Agg, rs.tel)
+		if err != nil {
+			return nil, err
+		}
+		rs.surf = d
+	}
+
 	s := &Stepper{rs: rs, opt: opt, dc: dc, c: c, dt: dt}
 	if opt.Fault != nil {
 		s.momentRate = make([]float64, opt.Steps)
@@ -295,6 +331,12 @@ func (s *Stepper) SetStepIndex(n int) error {
 	}
 	if l := s.rs.lts; l != nil && l.maxRate > 1 && n%l.maxRate != 0 {
 		return fmt.Errorf("solver: step index %d is not an LTS cycle boundary (max rate %d)", n, l.maxRate)
+	}
+	if s.rs.surf != nil {
+		// Drop buffered surface frames the replay will re-extract; flushed
+		// frames are offset-addressed and overwrite identically.
+		e := s.opt.Surface.Every
+		s.rs.surf.Rewind((n + e - 1) / e)
 	}
 	s.step = n
 	return nil
@@ -417,6 +459,11 @@ func (s *Stepper) Step() {
 	}
 	s.rs.trackPGV()
 	sp.End()
+	if s.rs.surf != nil && step%s.opt.Surface.Every == 0 {
+		if err := s.rs.surf.AppendFrame(step/s.opt.Surface.Every, s.rs.packSurfaceFrame()); err != nil && s.surfErr == nil {
+			s.surfErr = err
+		}
+	}
 	s.tm.Output += time.Since(t0).Seconds()
 	s.rs.tel.StepEnd()
 	s.step = step + 1
@@ -425,11 +472,33 @@ func (s *Stepper) Step() {
 // Finish gathers all per-rank outputs at rank 0 (collective: every rank
 // must call it) and returns the rank-0 Result (nil on other ranks).
 func (s *Stepper) Finish() (*Result, error) {
+	// Final surface flush first — a collective, like the gathers below,
+	// so every rank takes it in the same order.
+	if s.rs.surf != nil {
+		if err := s.rs.surf.Flush(); err != nil && s.surfErr == nil {
+			s.surfErr = err
+		}
+	}
 	// Coarse LTS ranks fill the seismogram samples they never computed
 	// by linear interpolation before the gather.
 	s.rs.ltsFillReceivers()
-	return s.rs.collect(s.c, s.dc, s.opt, s.dt, s.momentRate, s.tm)
+	res, err := s.rs.collect(s.c, s.dc, s.opt, s.dt, s.momentRate, s.tm)
+	if err == nil && s.surfErr != nil {
+		err = s.surfErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	if res != nil && s.rs.surf != nil {
+		res.Surface = &s.rs.surf.Stats
+	}
+	return res, nil
 }
+
+// SurfaceWriter exposes the rank's aggregated surface-output writer
+// (nil when Options.Surface is unset) so harnesses can verify stripe
+// checksums after a run.
+func (s *Stepper) SurfaceWriter() *output.Dist { return s.rs.surf }
 
 // Close releases the rank's worker pool.
 func (s *Stepper) Close() { s.rs.pool.Close() }

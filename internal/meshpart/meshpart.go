@@ -17,6 +17,7 @@ package meshpart
 import (
 	"fmt"
 
+	"repro/internal/agg"
 	"repro/internal/decomp"
 	"repro/internal/grid"
 	"repro/internal/meshgen"
@@ -103,15 +104,85 @@ func PrePartition(fsys *pfs.FS, meshPath, outDir string, global grid.Dims, dc de
 	var ops []pfs.Op
 	for r := 0; r < nranks; r++ {
 		sm := extract(global, dc.SubFor(r), rec)
-		buf := make([]float32, 0, 3*len(sm.VP))
-		buf = append(buf, sm.VP...)
-		buf = append(buf, sm.VS...)
-		buf = append(buf, sm.Rho...)
 		path := PartFileName(outDir, r)
-		fsys.WriteAt(path, 0, mpiio.PutFloat32s(buf))
-		ops = append(ops, pfs.Op{Path: path, Bytes: 4 * len(buf), Write: true, Open: true})
+		n, err := writePart(fsys, path, sm)
+		if err != nil {
+			return pfs.PhaseStats{}, err
+		}
+		ops = append(ops, pfs.Op{Path: path, Bytes: n, Write: true, Open: true})
 	}
 	return fsys.SimulatePhase(ops), nil
+}
+
+// writePart writes one rank's padded sub-mesh file (VP‖VS‖Rho) with
+// bounded retry, returning the byte count.
+func writePart(fsys *pfs.FS, path string, sm SubMesh) (int, error) {
+	buf := make([]float32, 0, 3*len(sm.VP))
+	buf = append(buf, sm.VP...)
+	buf = append(buf, sm.VS...)
+	buf = append(buf, sm.Rho...)
+	raw := mpiio.PutFloat32s(buf)
+	retry := pfs.DefaultRetry()
+	if err := retry.Do(func() error { return fsys.WriteAt(path, 0, raw) }); err != nil {
+		return 0, fmt.Errorf("meshpart: write %s: %w", path, err)
+	}
+	return len(raw), nil
+}
+
+// StreamStats reports the out-of-core partitioner's accounting.
+type StreamStats struct {
+	PeakBytes int // max live mesh bytes held at any time
+	Waves     int // open-throttle waves of the priced write phase
+}
+
+// StreamPrePartition is the out-of-core pre-partitioner: instead of
+// materializing the whole global mesh (PrePartition's O(NX·NY·NZ)
+// footprint — 21 TB for the M8 mesh), it reads, for one rank at a time,
+// only the clamped ghost-padded block that rank needs, assembles and
+// writes its sub-mesh file, and moves on. Peak memory is one padded
+// sub-block, independent of NZ, and the output files are bit-identical
+// to PrePartition's. The write phase is priced under the concurrent-open
+// throttle (the M8 run kept 223,074 part-file opens at ≤650 in flight).
+func StreamPrePartition(fsys *pfs.FS, meshPath, outDir string, global grid.Dims, dc decomp.Decomp, throttle int) (pfs.PhaseStats, StreamStats, error) {
+	nranks := dc.Topo.Size()
+	g := grid.Ghost
+	var ops []pfs.Op
+	var sst StreamStats
+	for r := 0; r < nranks; r++ {
+		sub := dc.SubFor(r)
+		k0 := clamp(sub.OffZ-g, global.NZ)
+		k1 := clamp(sub.OffZ+sub.Local.NZ+g-1, global.NZ)
+		j0 := clamp(sub.OffY-g, global.NY)
+		j1 := clamp(sub.OffY+sub.Local.NY+g-1, global.NY)
+		i0 := clamp(sub.OffX-g, global.NX)
+		i1 := clamp(sub.OffX+sub.Local.NX+g-1, global.NX)
+		segs := mpiio.BlockSegments(global, i0, i1+1, j0, j1+1, k0, k1+1, meshgen.RecBytes)
+		raw, err := mpiio.ReadIndexed(fsys, meshPath, segs)
+		if err != nil {
+			return pfs.PhaseStats{}, sst, fmt.Errorf("meshpart: rank %d block: %w", r, err)
+		}
+		vals := mpiio.GetFloat32s(raw)
+		nxr, nyr := i1-i0+1, j1-j0+1
+		rec := func(gi, gj, gk int) (float32, float32, float32) {
+			base := (((gk-k0)*nyr+(gj-j0))*nxr + (gi - i0)) * 3
+			return vals[base], vals[base+1], vals[base+2]
+		}
+		sm := extract(global, sub, rec)
+		path := PartFileName(outDir, r)
+		n, err := writePart(fsys, path, sm)
+		if err != nil {
+			return pfs.PhaseStats{}, sst, err
+		}
+		// Live set: the read block plus the assembled padded arrays and
+		// their byte image.
+		if live := len(raw) + 3*len(sm.VP)*4*2; live > sst.PeakBytes {
+			sst.PeakBytes = live
+		}
+		ops = append(ops, pfs.Op{Path: path, Bytes: n, Write: true, Open: true})
+	}
+	st, waves := agg.ThrottledPhase(fsys, ops, throttle)
+	sst.Waves = waves
+	return st, sst, nil
 }
 
 // ReadPrePartitioned loads one rank's pre-partitioned sub-mesh (the

@@ -1,0 +1,81 @@
+package mpiio
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+// FuzzBlockSegmentsRoundTrip checks the file-view invariants for random
+// sub-blocks of random global grids: the segments tile exactly the
+// x-runs of the sub-block (no overlap, no gap), their total length is the
+// sub-block volume times the record size, and every byte offset they
+// cover maps back to a grid point inside the block.
+func FuzzBlockSegmentsRoundTrip(f *testing.F) {
+	f.Add(uint16(6), uint16(5), uint16(8), uint8(1), uint8(4), uint8(0), uint8(5), uint8(2), uint8(8), uint8(12))
+	f.Add(uint16(1), uint16(1), uint16(1), uint8(0), uint8(1), uint8(0), uint8(1), uint8(0), uint8(1), uint8(4))
+	f.Add(uint16(32), uint16(7), uint16(3), uint8(3), uint8(9), uint8(2), uint8(7), uint8(1), uint8(3), uint8(8))
+	f.Fuzz(func(t *testing.T, nx, ny, nz uint16, ai0, ai1, aj0, aj1, ak0, ak1, arec uint8) {
+		g := grid.Dims{NX: int(nx%64) + 1, NY: int(ny%64) + 1, NZ: int(nz%64) + 1}
+		// Map the raw bounds into a valid non-empty sub-block.
+		i0 := int(ai0) % g.NX
+		i1 := i0 + 1 + int(ai1)%(g.NX-i0)
+		j0 := int(aj0) % g.NY
+		j1 := j0 + 1 + int(aj1)%(g.NY-j0)
+		k0 := int(ak0) % g.NZ
+		k1 := k0 + 1 + int(ak1)%(g.NZ-k0)
+		rec := int(arec)%16 + 1
+
+		segs := BlockSegments(g, i0, i1, j0, j1, k0, k1, rec)
+
+		// One segment per (j,k) row.
+		if want := (j1 - j0) * (k1 - k0); len(segs) != want {
+			t.Fatalf("%d segments, want %d", len(segs), want)
+		}
+		// Total length = block volume * rec.
+		vol := (i1 - i0) * (j1 - j0) * (k1 - k0)
+		if TotalLen(segs) != vol*rec {
+			t.Fatalf("total %d, want %d", TotalLen(segs), vol*rec)
+		}
+		// Sorted by offset, non-overlapping, each inside the file.
+		sorted := append([]Segment(nil), segs...)
+		sort.Slice(sorted, func(a, b int) bool { return sorted[a].Off < sorted[b].Off })
+		fileLen := g.NX * g.NY * g.NZ * rec
+		for n, s := range sorted {
+			if s.Len != (i1-i0)*rec {
+				t.Fatalf("seg %d len %d, want row length %d", n, s.Len, (i1-i0)*rec)
+			}
+			if s.Off < 0 || s.Off+s.Len > fileLen {
+				t.Fatalf("seg %d [%d,%d) outside file [0,%d)", n, s.Off, s.Off+s.Len, fileLen)
+			}
+			if n > 0 && s.Off < sorted[n-1].Off+sorted[n-1].Len {
+				t.Fatalf("seg %d overlaps predecessor", n)
+			}
+		}
+		// Every covered offset maps back into the block; every block
+		// point is covered exactly once.
+		covered := map[int]bool{}
+		for _, s := range segs {
+			if s.Off%rec != 0 || s.Len%rec != 0 {
+				t.Fatalf("segment [%d,%d) not record-aligned (rec %d)", s.Off, s.Off+s.Len, rec)
+			}
+			for p := s.Off / rec; p < (s.Off+s.Len)/rec; p++ {
+				i := p % g.NX
+				j := (p / g.NX) % g.NY
+				k := p / (g.NX * g.NY)
+				if i < i0 || i >= i1 || j < j0 || j >= j1 || k < k0 || k >= k1 {
+					t.Fatalf("covered point (%d,%d,%d) outside block [%d,%d)x[%d,%d)x[%d,%d)",
+						i, j, k, i0, i1, j0, j1, k0, k1)
+				}
+				if covered[p] {
+					t.Fatalf("point %d covered twice", p)
+				}
+				covered[p] = true
+			}
+		}
+		if len(covered) != vol {
+			t.Fatalf("covered %d points, want %d", len(covered), vol)
+		}
+	})
+}

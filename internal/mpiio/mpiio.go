@@ -72,15 +72,20 @@ func WriteIndexed(fsys *pfs.FS, path string, segs []Segment, data []byte, rec ..
 	return nil
 }
 
-// ReadIndexed reads the view into a new buffer. An optional telemetry
+// ReadIndexed reads the view into a new buffer. Each segment read retries
+// transient PFS faults with the same bounded backoff as WriteIndexed, so
+// a single MDS/read hiccup cannot kill a restart. An optional telemetry
 // recorder (at most one) attributes the wall time to the IO phase.
 func ReadIndexed(fsys *pfs.FS, path string, segs []Segment, rec ...*telemetry.Recorder) ([]byte, error) {
 	defer ioSpan(rec).End()
 	out := make([]byte, TotalLen(segs))
+	retry := pfs.DefaultRetry()
 	p := 0
 	for _, s := range segs {
-		if err := fsys.ReadAt(path, s.Off, out[p:p+s.Len]); err != nil {
-			return nil, err
+		seg := s
+		chunk := out[p : p+seg.Len]
+		if err := retry.Do(func() error { return fsys.ReadAt(path, seg.Off, chunk) }); err != nil {
+			return nil, fmt.Errorf("mpiio: read %s seg [%d,%d): %w", path, seg.Off, seg.Off+seg.Len, err)
 		}
 		p += s.Len
 	}

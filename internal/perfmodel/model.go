@@ -31,6 +31,13 @@ type Job struct {
 	AggregateSteps   int
 	// IOBandwidth is the file-system aggregate bandwidth, B/s.
 	IOBandwidth float64
+	// WriterRanks is the aggregator count of the two-phase collective
+	// output path (M8: 670, one writer stream per OST). Aggregated flushes
+	// pay a metadata charge per writer open, amortized over the
+	// AggregateSteps interval — negligible by design, which is the point:
+	// a bounded writer set keeps the MDS out of the critical path, unlike
+	// the per-rank storm of the unaggregated branch.
+	WriterRanks int
 	// AuxOverheadFraction is extra per-cell production work (sources,
 	// boundary zones, aggregation, checksums) relative to the bare wave
 	// kernels; ~0 in dedicated benchmarks.
@@ -273,6 +280,15 @@ func StepTime(j Job) Breakdown {
 			// Buffered in memory, flushed in huge sequential writes that
 			// stream at full file-system bandwidth.
 			b.IO = avgBytesPerStep / j.IOBandwidth
+			// Writer-rank metadata: each flush opens WriterRanks streams at
+			// ~1 ms of MDS service each, amortized over the flush interval.
+			if j.WriterRanks > 0 {
+				interval := float64(j.AggregateSteps)
+				if interval <= 0 {
+					interval = every
+				}
+				b.IO += 1e-3 * float64(j.WriterRanks) / interval
+			}
 		} else {
 			// Unaggregated small writes every recorded step: every rank
 			// issues its own write, effective bandwidth collapses, and
@@ -327,6 +343,7 @@ func M8Job(v Version) Job {
 		OutputEverySteps:    20,
 		AggregateSteps:      20000,
 		IOBandwidth:         20e9,
+		WriterRanks:         670, // one aggregator stream per Jaguar OST
 		AuxOverheadFraction: 0.27,
 	}
 }

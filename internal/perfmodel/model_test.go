@@ -232,6 +232,29 @@ func TestIOAggregationInModel(t *testing.T) {
 	}
 }
 
+// The aggregated writer-rank metadata term must be real but negligible:
+// 670 opens amortized over a 20,000-step flush interval cannot move the
+// M8 I/O fraction, while dropping the amortization (flushing every
+// recorded step) must make it visible.
+func TestWriterRanksMetadataTerm(t *testing.T) {
+	with := M8Job(v(t, "7.2"))
+	without := with
+	without.WriterRanks = 0
+	bw, bo := StepTime(with), StepTime(without)
+	if bw.IO <= bo.IO {
+		t.Error("WriterRanks term added no metadata cost")
+	}
+	if (bw.IO-bo.IO)/bw.Total() > 1e-4 {
+		t.Errorf("amortized writer metadata moved the step time by %g of total",
+			(bw.IO-bo.IO)/bw.Total())
+	}
+	eager := with
+	eager.AggregateSteps = eager.OutputEverySteps
+	if StepTime(eager).IO <= bw.IO {
+		t.Error("per-interval flushing should pay more writer metadata than 20k-step flushes")
+	}
+}
+
 func TestSpeedupConsistency(t *testing.T) {
 	j := Job{Machine: Jaguar, Version: v(t, "7.2"), Global: shakeOut, Cores: 1024}
 	s := Speedup(j)

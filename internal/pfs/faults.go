@@ -42,6 +42,10 @@ type FaultPlan struct {
 	// MDSTimeoutProb is the per-metadata-op (file create, rename)
 	// probability of a timeout with no side effect.
 	MDSTimeoutProb float64
+	// ReadFailProb is the per-read probability of a transient failure
+	// with nothing delivered (retryable) — the restart-killing read
+	// hiccup of an overloaded MDS/OST.
+	ReadFailProb float64
 
 	// MaxConsecutive bounds back-to-back injected faults (default 2), so
 	// a bounded retry loop always converges.
@@ -54,6 +58,7 @@ type FaultStats struct {
 	ShortWrites  uint64
 	TornWrites   uint64
 	MDSTimeouts  uint64
+	FailedReads  uint64
 }
 
 // TransientError marks a retryable injected I/O failure. Use IsTransient
@@ -140,6 +145,26 @@ func (e *faultEngine) drawMDS() bool {
 	if e.rng.Float64() < e.plan.MDSTimeoutProb {
 		e.consec++
 		e.stats.MDSTimeouts++
+		return true
+	}
+	e.consec = 0
+	return false
+}
+
+// drawRead decides whether a read fails transiently. Caller holds fs.mu.
+// A disarmed class (prob 0) draws nothing, so it neither consumes
+// randomness nor breaks a consecutive-fault run of another class.
+func (e *faultEngine) drawRead() bool {
+	if e.plan.ReadFailProb <= 0 {
+		return false
+	}
+	if e.consec >= e.plan.MaxConsecutive {
+		e.consec = 0
+		return false
+	}
+	if e.rng.Float64() < e.plan.ReadFailProb {
+		e.consec++
+		e.stats.FailedReads++
 		return true
 	}
 	e.consec = 0

@@ -266,3 +266,54 @@ func TestStripeZeroAndOversizeCountClamps(t *testing.T) {
 		}
 	}
 }
+
+func TestReadFaultTransientAndRetryable(t *testing.T) {
+	fs := New(Jaguar())
+	data := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	if err := fs.WriteAt("f", 0, data); err != nil {
+		t.Fatal(err)
+	}
+	fs.InjectFaults(FaultPlan{Seed: 3, ReadFailProb: 1, MaxConsecutive: 1})
+	buf := make([]byte, len(data))
+	err := fs.ReadAt("f", 0, buf)
+	if !IsTransient(err) {
+		t.Fatalf("err = %v, want transient read fault", err)
+	}
+	if st := fs.FaultStats(); st.FailedReads != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// MaxConsecutive=1 guarantees the immediate retry succeeds, so the
+	// default retry policy heals the fault.
+	p := DefaultRetry()
+	p.Sleep = func(time.Duration) {}
+	if err := p.Do(func() error { return fs.ReadAt("f", 0, buf) }); err != nil {
+		t.Fatalf("retry did not heal read fault: %v", err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatalf("read %v, want %v", buf, data)
+	}
+}
+
+func TestReadFaultNeverFiresDisarmed(t *testing.T) {
+	// A zero ReadFailProb must not consume randomness, so write-fault
+	// sequences are identical with and without the read class configured.
+	trace := func(plan FaultPlan) []bool {
+		fs := New(Jaguar())
+		fs.InjectFaults(plan)
+		var outcome []bool
+		buf := make([]byte, 4)
+		for i := 0; i < 64; i++ {
+			err := fs.WriteAt("f", 0, []byte{1, 2, 3, 4})
+			outcome = append(outcome, err == nil)
+			fs.ReadAt("f", 0, buf)
+		}
+		return outcome
+	}
+	a := trace(FaultPlan{Seed: 11, WriteFailProb: 0.3})
+	b := trace(FaultPlan{Seed: 11, WriteFailProb: 0.3, ReadFailProb: 0})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("write-fault trace diverged at op %d", i)
+		}
+	}
+}

@@ -82,17 +82,38 @@ func (fs *FS) SetStripe(dirPrefix string, count, size int) {
 	fs.dirStripes[dirPrefix] = [2]int{count, size}
 }
 
-// stripeFor resolves striping for a new file path.
+// stripeFor resolves striping for a new file path by longest-prefix
+// match. Resolution is deterministic: the longest matching prefix wins,
+// and equal-length matches tie-break to the lexicographically smallest
+// prefix (never map iteration order).
 func (fs *FS) stripeFor(path string) (count, size int) {
 	best := ""
+	found := false
 	count, size = fs.defStripeCount, fs.defStripeSize
 	for prefix, cs := range fs.dirStripes {
-		if len(prefix) >= len(best) && len(prefix) <= len(path) && path[:len(prefix)] == prefix {
+		if len(prefix) > len(path) || path[:len(prefix)] != prefix {
+			continue
+		}
+		if !found || len(prefix) > len(best) || (len(prefix) == len(best) && prefix < best) {
 			best = prefix
+			found = true
 			count, size = cs[0], cs[1]
 		}
 	}
 	return
+}
+
+// Stripe reports the striping geometry of the file at path, or — for a
+// path with no file yet — the geometry a file created there would get.
+// The aggregation layer uses it to place one writer per stripe-aligned
+// file extent.
+func (fs *FS) Stripe(path string) (count, size int) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if f := fs.files[path]; f != nil {
+		return f.stripeCount, f.stripeSize
+	}
+	return fs.stripeFor(path)
 }
 
 // create makes the file if absent (caller holds the lock).
@@ -174,7 +195,9 @@ func (fs *FS) Rename(oldPath, newPath string) error {
 }
 
 // ReadAt reads len(buf) bytes at offset; it returns an error if the range
-// is not fully populated.
+// is not fully populated. With a FaultPlan armed it may fail transiently
+// (nothing delivered, retryable via RetryPolicy) — the MDS/OST read
+// hiccup that kills an unprotected restart.
 func (fs *FS) ReadAt(path string, off int, buf []byte) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
@@ -184,6 +207,9 @@ func (fs *FS) ReadAt(path string, off int, buf []byte) error {
 	}
 	if off+len(buf) > len(f.data) {
 		return fmt.Errorf("pfs: %s: read [%d,%d) beyond EOF %d", path, off, off+len(buf), len(f.data))
+	}
+	if fe := fs.faults; fe != nil && fe.drawRead() {
+		return &TransientError{Op: "read", Path: path}
 	}
 	copy(buf, f.data[off:])
 	return nil

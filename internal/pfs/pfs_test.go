@@ -186,3 +186,41 @@ func TestNewPanicsOnBadConfig(t *testing.T) {
 	}()
 	New(Config{})
 }
+
+func TestStripeForDeterministicTieBreak(t *testing.T) {
+	// Longest matching prefix wins regardless of registration order, and
+	// the resolution never depends on map iteration order: run many
+	// freshly built file systems and demand identical answers.
+	for trial := 0; trial < 50; trial++ {
+		fs := testFS()
+		fs.SetStripe("out/", 2, 1<<20)
+		fs.SetStripe("out/deep/", 4, 2<<20)
+		fs.SetStripe("o", 8, 4<<20)
+		if c, s := fs.Stripe("out/deep/file"); c != 4 || s != 2<<20 {
+			t.Fatalf("trial %d: out/deep/file -> (%d,%d), want (4,%d)", trial, c, s, 2<<20)
+		}
+		if c, s := fs.Stripe("out/file"); c != 2 || s != 1<<20 {
+			t.Fatalf("trial %d: out/file -> (%d,%d), want (2,%d)", trial, c, s, 1<<20)
+		}
+		if c, s := fs.Stripe("other"); c != 8 || s != 4<<20 {
+			t.Fatalf("trial %d: other -> (%d,%d), want (8,%d)", trial, c, s, 4<<20)
+		}
+		if c, s := fs.Stripe("elsewhere"); c != 1 || s != 1<<20 {
+			t.Fatalf("trial %d: elsewhere -> defaults, got (%d,%d)", trial, c, s)
+		}
+	}
+}
+
+func TestStripeReportsExistingFileGeometry(t *testing.T) {
+	fs := testFS()
+	fs.SetStripe("d/", 4, 2<<20)
+	fs.WriteAt("d/f", 0, []byte{1})
+	// Re-striping the directory must not retroactively change the file.
+	fs.SetStripe("d/", 8, 1<<20)
+	if c, s := fs.Stripe("d/f"); c != 4 || s != 2<<20 {
+		t.Fatalf("existing file -> (%d,%d), want creation-time (4,%d)", c, s, 2<<20)
+	}
+	if c, s := fs.Stripe("d/new"); c != 8 || s != 1<<20 {
+		t.Fatalf("new path -> (%d,%d), want current (8,%d)", c, s, 1<<20)
+	}
+}

@@ -74,6 +74,10 @@ const (
 	// previously invisible to the phase split. Barriers are not counted
 	// here — the solver wraps them in Sync spans.
 	Collective
+	// Agg is the two-phase aggregated I/O layer (internal/agg): shipping
+	// file-view segments to the writer ranks, coalescing them into
+	// stripe-aligned extents, and issuing the aggregated writes.
+	Agg
 
 	numPhases
 )
@@ -84,7 +88,7 @@ const NumPhases = int(numPhases)
 var phaseNames = [NumPhases]string{
 	"velocity", "stress", "attenuation", "boundary", "pack", "send",
 	"recv", "unpack", "sync", "output", "io", "checkpoint",
-	"queue-wait", "execute", "recovery", "interp", "collective",
+	"queue-wait", "execute", "recovery", "interp", "collective", "agg",
 }
 
 func (p Phase) String() string {

@@ -24,7 +24,7 @@ func TestPhaseNames(t *testing.T) {
 			t.Fatalf("PhaseByName(%q) = %v, %v", name, got, ok)
 		}
 	}
-	if Phase(NumPhases).String() != "phase(17)" {
+	if Phase(NumPhases).String() != "phase(18)" {
 		t.Errorf("out-of-range String = %q", Phase(NumPhases).String())
 	}
 	if _, ok := PhaseByName("no-such-phase"); ok {
