@@ -2,7 +2,7 @@
 // evaluation: -exp selects one of table1, table2, table3, fig3, fig11,
 // fig12, fig13, fig14, fig19, fig21, fig22, fig23, sustained, the
 // benchmark experiments (engine, halo, phases, kernels, ft, ttile, lts,
-// scale, io), or all. Petascale quantities come from the validated performance model
+// scale, io, farm), or all. Petascale quantities come from the validated performance model
 // (internal/perfmodel); physics quantities come from scaled production
 // runs of the real solver.
 package main
@@ -28,7 +28,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table1, table2, table3, fig3, fig11, fig12, fig13, fig14, fig19, fig21, fig22, fig23, sustained, engine, halo, phases, kernels, ft, ttile, lts, scale, io, all)")
+	exp := flag.String("exp", "all", "experiment id (table1, table2, table3, fig3, fig11, fig12, fig13, fig14, fig19, fig21, fig22, fig23, sustained, engine, halo, phases, kernels, ft, ttile, lts, scale, io, farm, all)")
 	out := flag.String("out", "", "output path for a benchmark experiment's JSON report (default: BENCH_1.json for engine, BENCH_2.json for halo, BENCH_3.json for phases, BENCH_4.json for kernels)")
 	short := flag.Bool("short", false, "reduced sweep for CI smoke runs (halo, phases, kernels)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -93,6 +93,7 @@ func main() {
 		"lts":       func() { ltsExp(outFor("BENCH_7.json"), *short) },
 		"scale":     func() { scale(outFor("BENCH_8.json"), *short) },
 		"io":        func() { ioExp(outFor("BENCH_9.json"), *short) },
+		"farm":      func() { farmExp(outFor("BENCH_10.json"), *short) },
 	}
 	if *exp == "all" {
 		for _, name := range []string{"table1", "table2", "table3", "sustained",

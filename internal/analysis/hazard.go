@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"math"
+	"sort"
+)
+
+// ExceedanceCurve is the ensemble hazard product the farm's front end
+// serves: for each intensity threshold, the fraction of ensemble members
+// whose value exceeds it — the empirical P(PGV > v) curve a CyberShake-
+// style study reads off its rupture-scenario ensemble at one site.
+//
+// values are the per-member intensities (e.g. PGVH at a site, m/s);
+// thresholds must be ascending. The returned slice is parallel to
+// thresholds. An empty ensemble yields all zeros.
+func ExceedanceCurve(values, thresholds []float64) []float64 {
+	out := make([]float64, len(thresholds))
+	if len(values) == 0 {
+		return out
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	for i, th := range thresholds {
+		// First index with value > th, via binary search.
+		k := sort.SearchFloat64s(sorted, th)
+		for k < len(sorted) && sorted[k] == th {
+			k++
+		}
+		out[i] = float64(len(sorted)-k) / n
+	}
+	return out
+}
+
+// HazardThresholds returns nBins log-spaced intensity thresholds spanning
+// [lo, hi] — the standard hazard-curve abscissa. lo and hi must be
+// positive with lo < hi; nBins < 2 yields just {lo, hi}.
+func HazardThresholds(lo, hi float64, nBins int) []float64 {
+	if nBins < 2 {
+		return []float64{lo, hi}
+	}
+	out := make([]float64, nBins)
+	ratio := hi / lo
+	for i := range out {
+		t := float64(i) / float64(nBins-1)
+		out[i] = lo * math.Pow(ratio, t)
+	}
+	return out
+}

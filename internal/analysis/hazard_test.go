@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExceedanceCurve(t *testing.T) {
+	values := []float64{0.1, 0.2, 0.3, 0.4}
+	th := []float64{0.05, 0.15, 0.25, 0.35, 0.5}
+	got := ExceedanceCurve(values, th)
+	want := []float64{1.0, 0.75, 0.5, 0.25, 0}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("P(>%g) = %g, want %g", th[i], got[i], want[i])
+		}
+	}
+	// Ties: exceedance is strict (P(V > v)), so a threshold exactly at a
+	// sample excludes that sample.
+	got = ExceedanceCurve(values, []float64{0.2})
+	if got[0] != 0.5 {
+		t.Fatalf("P(>0.2) = %g, want 0.5 (strict)", got[0])
+	}
+	// Empty ensemble.
+	got = ExceedanceCurve(nil, th)
+	for i, v := range got {
+		if v != 0 {
+			t.Fatalf("empty ensemble P(>%g) = %g", th[i], v)
+		}
+	}
+	// Monotone non-increasing in the threshold.
+	got = ExceedanceCurve(values, HazardThresholds(0.01, 1, 16))
+	for i := 1; i < len(got); i++ {
+		if got[i] > got[i-1] {
+			t.Fatalf("curve not monotone at %d: %g > %g", i, got[i], got[i-1])
+		}
+	}
+}
+
+func TestHazardThresholds(t *testing.T) {
+	th := HazardThresholds(0.01, 1.0, 5)
+	if len(th) != 5 {
+		t.Fatalf("len = %d", len(th))
+	}
+	if math.Abs(th[0]-0.01) > 1e-15 || math.Abs(th[4]-1.0) > 1e-12 {
+		t.Fatalf("endpoints %g..%g", th[0], th[4])
+	}
+	// Log-spaced: constant ratio between consecutive thresholds.
+	r := th[1] / th[0]
+	for i := 2; i < len(th); i++ {
+		if math.Abs(th[i]/th[i-1]-r) > 1e-9 {
+			t.Fatalf("ratio drift at %d: %g vs %g", i, th[i]/th[i-1], r)
+		}
+	}
+	if got := HazardThresholds(2, 8, 1); len(got) != 2 || got[0] != 2 || got[1] != 8 {
+		t.Fatalf("degenerate bins: %v", got)
+	}
+}

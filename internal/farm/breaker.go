@@ -1,0 +1,188 @@
+package farm
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the classic three-state circuit-breaker lifecycle.
+type BreakerState int
+
+const (
+	// Closed: requests flow; consecutive failures are counted.
+	Closed BreakerState = iota
+	// Open: requests are rejected until the cooldown elapses.
+	Open
+	// HalfOpen: exactly one probe request is admitted; its outcome
+	// decides between re-closing and re-opening.
+	HalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig tunes a breaker set.
+type BreakerConfig struct {
+	// Threshold is the consecutive-failure count that trips Closed→Open
+	// (default 3).
+	Threshold int
+	// Cooldown is how long an Open breaker rejects before admitting a
+	// half-open probe (default 250ms).
+	Cooldown time.Duration
+	// Now is an injectable clock for tests; nil means time.Now.
+	Now func() time.Time
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 250 * time.Millisecond
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Breakers is a per-scenario-class circuit-breaker set: repeated failures
+// in one class (e.g. a magnitude band whose jobs keep crashing) trip that
+// class open, shedding its work while the other classes keep flowing —
+// the failure-isolation half of the farm's robustness story.
+type Breakers struct {
+	cfg BreakerConfig
+	mu  sync.Mutex
+	m   map[string]*breaker
+}
+
+type breaker struct {
+	state    BreakerState
+	failures int
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+	trips    int
+}
+
+// NewBreakers creates a breaker set.
+func NewBreakers(cfg BreakerConfig) *Breakers {
+	return &Breakers{cfg: cfg.withDefaults(), m: map[string]*breaker{}}
+}
+
+func (bs *Breakers) get(class string) *breaker {
+	b := bs.m[class]
+	if b == nil {
+		b = &breaker{}
+		bs.m[class] = b
+	}
+	return b
+}
+
+// Allow reports whether a request for the class may proceed. An Open
+// breaker past its cooldown transitions to HalfOpen and admits exactly
+// one probe; concurrent requests during the probe are rejected.
+func (bs *Breakers) Allow(class string) bool {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	b := bs.get(class)
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if bs.cfg.Now().Sub(b.openedAt) >= bs.cfg.Cooldown {
+			b.state = HalfOpen
+			b.probing = true
+			return true
+		}
+		return false
+	case HalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return false
+}
+
+// OnSuccess records a success: a half-open probe success re-closes the
+// breaker; in Closed it resets the failure streak.
+func (bs *Breakers) OnSuccess(class string) {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	b := bs.get(class)
+	b.failures = 0
+	b.probing = false
+	b.state = Closed
+}
+
+// OnFailure records a failure: a half-open probe failure re-opens
+// immediately; in Closed the streak counts toward the threshold.
+func (bs *Breakers) OnFailure(class string) {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	b := bs.get(class)
+	b.probing = false
+	switch b.state {
+	case HalfOpen:
+		b.state = Open
+		b.openedAt = bs.cfg.Now()
+		b.trips++
+	case Closed:
+		b.failures++
+		if b.failures >= bs.cfg.Threshold {
+			b.state = Open
+			b.openedAt = bs.cfg.Now()
+			b.trips++
+		}
+	}
+}
+
+// Ready reports whether the class would admit work, without consuming a
+// half-open probe slot or transitioning state — the read-only check used
+// by the serving path to decide whether to enqueue a compute (the worker
+// path's Allow does the actual probing).
+func (bs *Breakers) Ready(class string) bool {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	return bs.get(class).state == Closed
+}
+
+// State returns the class's current state (Open past cooldown still
+// reports Open until a request arrives to probe).
+func (bs *Breakers) State(class string) BreakerState {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	return bs.get(class).state
+}
+
+// Trips returns the total Closed/HalfOpen→Open transitions across classes.
+func (bs *Breakers) Trips() int {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	n := 0
+	for _, b := range bs.m {
+		n += b.trips
+	}
+	return n
+}
+
+// States snapshots every class's state (for /status).
+func (bs *Breakers) States() map[string]string {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	out := make(map[string]string, len(bs.m))
+	for c, b := range bs.m {
+		out[c] = b.state.String()
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package farm
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ChaosPlan configures the farm-level fault injector: worker crashes
+// (panic mid-job), hung jobs (compute stalls past the deadline) and
+// artifact corruption (bit rot after a successful store). It composes
+// with the pfs fault plans (storage faults) and the in-world mpi chaos
+// plans (rank crashes) for the full service-level storm.
+type ChaosPlan struct {
+	Seed int64
+	// CrashProb panics the worker goroutine mid-job.
+	CrashProb float64
+	// HangProb stalls the attempt for HangDur (set > the job deadline to
+	// exercise the deadline path).
+	HangProb float64
+	// HangDur is the stall length (default 50ms).
+	HangDur time.Duration
+	// CorruptProb garbles the stored artifact right after a successful
+	// Put, exercising the read-verify/re-queue path.
+	CorruptProb float64
+	// MaxFaultsPerJob caps injected faults per scenario key so every job
+	// eventually converges (default 3, mirroring pfs.MaxConsecutive).
+	MaxFaultsPerJob int
+}
+
+// ChaosStats counts injected faults.
+type ChaosStats struct {
+	Crashes     int `json:"crashes"`
+	Hangs       int `json:"hangs"`
+	Corruptions int `json:"corruptions"`
+}
+
+// chaosEngine applies a ChaosPlan with a per-job fault budget.
+type chaosEngine struct {
+	mu     sync.Mutex
+	plan   ChaosPlan
+	rng    *rand.Rand
+	perJob map[string]int
+	stats  ChaosStats
+}
+
+func newChaosEngine(plan ChaosPlan) *chaosEngine {
+	if plan.HangDur <= 0 {
+		plan.HangDur = 50 * time.Millisecond
+	}
+	if plan.MaxFaultsPerJob <= 0 {
+		plan.MaxFaultsPerJob = 3
+	}
+	return &chaosEngine{
+		plan:   plan,
+		rng:    rand.New(rand.NewSource(plan.Seed)),
+		perJob: map[string]int{},
+	}
+}
+
+type chaosAction int
+
+const (
+	chaosNone chaosAction = iota
+	chaosCrash
+	chaosHang
+)
+
+// preAttempt rolls for a crash or hang at the start of a job attempt.
+func (c *chaosEngine) preAttempt(key string) (chaosAction, time.Duration) {
+	if c == nil {
+		return chaosNone, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.perJob[key] >= c.plan.MaxFaultsPerJob {
+		return chaosNone, 0
+	}
+	switch r := c.rng.Float64(); {
+	case r < c.plan.CrashProb:
+		c.perJob[key]++
+		c.stats.Crashes++
+		return chaosCrash, 0
+	case r < c.plan.CrashProb+c.plan.HangProb:
+		c.perJob[key]++
+		c.stats.Hangs++
+		return chaosHang, c.plan.HangDur
+	}
+	return chaosNone, 0
+}
+
+// postStore rolls for artifact corruption after a successful Put.
+func (c *chaosEngine) postStore(key string) bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.perJob[key] >= c.plan.MaxFaultsPerJob {
+		return false
+	}
+	if c.rng.Float64() < c.plan.CorruptProb {
+		c.perJob[key]++
+		c.stats.Corruptions++
+		return true
+	}
+	return false
+}
+
+// Stats snapshots the injected-fault counts.
+func (c *chaosEngine) Stats() ChaosStats {
+	if c == nil {
+		return ChaosStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}

@@ -1,0 +1,186 @@
+package farm
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/pfs"
+	"repro/internal/telemetry"
+)
+
+// TestFarmChaosSoakRace is the service-level chaos soak: one run
+// composing every fault class — worker crashes, hung jobs, at-rest
+// artifact corruption and PFS fault storms on the store — while a
+// concurrent query load hits the front end. The invariants under the
+// storm are the farm's whole robustness contract:
+//   - the full ensemble completes with zero permanently failed jobs,
+//   - every surviving artifact verifies (zero wrong results),
+//   - every query is answered 200 (degraded allowed, never an error).
+//
+// Run under -race in CI.
+func TestFarmChaosSoakRace(t *testing.T) {
+	fs := pfs.New(pfs.Jaguar())
+	fs.InjectFaults(pfs.FaultPlan{
+		Seed: 77, WriteFailProb: 0.1, ShortWriteProb: 0.05,
+		TornWriteProb: 0.05, ReadFailProb: 0.03, MaxConsecutive: 2,
+	})
+	store := NewStore(fs, nil)
+	store.Retry.MaxAttempts = 10
+	store.Retry.Sleep = func(time.Duration) {}
+
+	rec := telemetry.NewRecorder(0, 0)
+	cfg := Config{
+		Spec: testSpec(), Workers: 4, MaxAttempts: 10,
+		Deadline:  500 * time.Millisecond,
+		RetryBase: time.Millisecond, RetryMax: 10 * time.Millisecond,
+		Breaker:   BreakerConfig{Threshold: 4, Cooldown: 30 * time.Millisecond},
+		Chaos: &ChaosPlan{
+			Seed: 99, CrashProb: 0.15, HangProb: 0.2,
+			HangDur: 900 * time.Millisecond, CorruptProb: 0.15,
+			MaxFaultsPerJob: 2,
+		},
+		Rec: rec,
+	}
+	f := New(cfg, store, NewSurrogate(DefaultRange()))
+	defer f.Close()
+	srv := NewServer(f, ServerConfig{MaxConcurrent: 4})
+
+	scs := LatinHypercube(12, 6, DefaultRange())
+	for _, sc := range scs {
+		f.Submit(sc)
+	}
+
+	// Concurrent query load against the front end while the storm rages.
+	var qwg sync.WaitGroup
+	var qmu sync.Mutex
+	non200 := 0
+	queries := 0
+	stop := make(chan struct{})
+	for g := 0; g < 3; g++ {
+		qwg.Add(1)
+		go func(g int) {
+			defer qwg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sc := scs[(g*7+i)%len(scs)]
+				req := httptest.NewRequest("GET", scenarioURL(sc), nil)
+				w := httptest.NewRecorder()
+				srv.ServeHTTP(w, req)
+				qmu.Lock()
+				queries++
+				if w.Code != 200 {
+					non200++
+				}
+				qmu.Unlock()
+				var r HazardResponse
+				if json.Unmarshal(w.Body.Bytes(), &r) == nil && !r.Degraded {
+					// An exact answer must match a verified artifact.
+					if r.PeakPGV <= 0 {
+						t.Errorf("exact answer with peak %g", r.PeakPGV)
+					}
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}(g)
+	}
+
+	f.Wait()
+	healed := f.Audit(6)
+	close(stop)
+	qwg.Wait()
+
+	st := f.Stats()
+	if st.Chaos.Crashes == 0 || st.Chaos.Hangs == 0 || st.Chaos.Corruptions == 0 {
+		t.Fatalf("soak did not exercise all fault classes: %+v", st.Chaos)
+	}
+	if st.Completed != len(scs) || st.Failed != 0 {
+		t.Fatalf("ensemble incomplete under storm: %+v", st)
+	}
+	// Zero wrong results: every artifact verifies after the audit.
+	fs.ClearFaults()
+	if bad := store.VerifyAll(); len(bad) != 0 {
+		t.Fatalf("corrupt artifacts survived the audit: %v", bad)
+	}
+	if st.Chaos.Corruptions > 0 && healed == 0 && st.CorruptRequeued == 0 {
+		t.Fatal("corruption injected but nothing was re-queued (serving or audit)")
+	}
+	// Availability: every query answered, none with an error status.
+	qmu.Lock()
+	defer qmu.Unlock()
+	if queries == 0 {
+		t.Fatal("no queries ran")
+	}
+	if non200 != 0 {
+		t.Fatalf("%d of %d queries errored under the storm", non200, queries)
+	}
+	// Telemetry saw the storm.
+	if rec.Count("farm.worker_crashes") == 0 || rec.Count("farm.attempts") == 0 {
+		t.Fatalf("telemetry counters empty: %v", rec.Counts())
+	}
+	if _, n := rec.PhaseTotal(telemetry.Serve); n == 0 {
+		t.Fatal("no Serve spans recorded")
+	}
+}
+
+// TestFarmCleanVsStormThroughput is a scaled-down version of the
+// BENCH_10 throughput gate: the fault storm may slow the farm down but
+// not break it. (The 35% gate itself lives in cmd/benchtab where the
+// ensemble is bigger; here we only require the storm run to finish and
+// both runs to agree byte-for-byte on every artifact.)
+func TestFarmCleanVsStormThroughput(t *testing.T) {
+	scs := LatinHypercube(8, 14, DefaultRange())
+
+	run := func(chaos *ChaosPlan) (map[string]uint64, Stats) {
+		st := NewStore(pfs.New(pfs.Jaguar()), nil)
+		f := New(Config{
+			Spec: testSpec(), Workers: 4, MaxAttempts: 10,
+			Deadline: 500 * time.Millisecond,
+			RetryBase: time.Millisecond, RetryMax: 10 * time.Millisecond,
+			Chaos: chaos,
+		}, st, nil)
+		defer f.Close()
+		for _, sc := range scs {
+			f.Submit(sc)
+		}
+		f.Wait()
+		f.Audit(6)
+		sums := map[string]uint64{}
+		for _, k := range st.Keys() {
+			if c, ok := st.Checksum(k); ok {
+				sums[k] = c
+			}
+		}
+		return sums, f.Stats()
+	}
+
+	clean, cleanStats := run(nil)
+	storm, stormStats := run(&ChaosPlan{
+		Seed: 5, CrashProb: 0.25, HangProb: 0.15, HangDur: 900 * time.Millisecond,
+		CorruptProb: 0.2, MaxFaultsPerJob: 2,
+	})
+	if cleanStats.Completed != len(scs) || stormStats.Completed != len(scs) {
+		t.Fatalf("clean %+v storm %+v", cleanStats, stormStats)
+	}
+	if len(clean) != len(storm) {
+		t.Fatalf("artifact counts differ: %d vs %d", len(clean), len(storm))
+	}
+	for k, c := range clean {
+		if storm[k] != c {
+			t.Fatalf("artifact %s differs between clean and storm runs", k)
+		}
+	}
+	ch := stormStats.Chaos
+	if ch.Crashes+ch.Hangs+ch.Corruptions == 0 {
+		t.Fatalf("storm injected nothing; chaos was vacuous: %+v", ch)
+	}
+	if stormStats.Retries+stormStats.CorruptRequeued == 0 {
+		t.Fatal("storm faults triggered no retry or re-queue")
+	}
+}

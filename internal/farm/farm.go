@@ -1,0 +1,617 @@
+package farm
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core/solver"
+	"repro/internal/ft"
+	"repro/internal/mpi"
+	"repro/internal/pfs"
+	"repro/internal/telemetry"
+)
+
+// Config tunes the farm supervisor.
+type Config struct {
+	Spec EnsembleSpec
+	// Workers is the persistent fleet size (default 4).
+	Workers int
+	// MaxAttempts caps tries per scenario before it is declared failed
+	// (default 6).
+	MaxAttempts int
+	// Deadline bounds one attempt's wall time; a hung attempt is
+	// abandoned and retried (default 10s — generous for clean jobs,
+	// tightened by the benchmark from a pilot run).
+	Deadline time.Duration
+	// RetryBase/RetryMax bound the exponential requeue backoff
+	// (defaults 2ms / 50ms; pfs.RetryPolicy semantics).
+	RetryBase, RetryMax time.Duration
+	// Breaker tunes the per-class circuit breakers.
+	Breaker BreakerConfig
+	// MaxParks bounds how many times one job may be parked behind its
+	// class's open breaker before it is failed fast (default 100) —
+	// Wait always terminates even if a class never heals.
+	MaxParks int
+	// Chaos, when non-nil, arms the farm-level fault injector.
+	Chaos *ChaosPlan
+	// FT, when non-nil, runs each job as a fault-tolerant multi-rank
+	// world (checkpoint/recover) instead of a plain solver.Run.
+	FT *FTConfig
+	// Rec, when non-nil, receives Job/Serve phase spans and named
+	// counters (queue depth, retries, breaker trips, sheds).
+	Rec *telemetry.Recorder
+	// Logf routes diagnostics; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// FTConfig configures fault-tolerant in-world execution of each job.
+type FTConfig struct {
+	// Interval is the checkpoint cadence in steps (default 15).
+	Interval int
+	// Chaos arms in-world message-layer fault injection; the plan's Seed
+	// is re-derived per job so different scenarios see different faults.
+	Chaos *mpi.ChaosPlan
+	// PFSFaults arms transient checkpoint-storage faults.
+	PFSFaults *pfs.FaultPlan
+}
+
+// Stats snapshots the supervisor's counters.
+type Stats struct {
+	Submitted   int `json:"submitted"`
+	Completed   int `json:"completed"`
+	Duplicates  int `json:"duplicates"`
+	Failed      int `json:"failed"` // permanently, after MaxAttempts
+	Attempts    int `json:"attempts"`
+	Retries     int `json:"retries"`
+	WorkerCrashes int `json:"worker_crashes"`
+	WorkersReplaced int `json:"workers_replaced"`
+	DeadlineMisses  int `json:"deadline_misses"`
+	BreakerParks    int `json:"breaker_parks"`
+	BreakerTrips    int `json:"breaker_trips"`
+	CorruptRequeued int `json:"corrupt_requeued"`
+	Recoveries      int `json:"recoveries"` // in-world coordinated rollbacks
+	BackoffSec      float64 `json:"backoff_sec"`
+	Chaos           ChaosStats `json:"chaos"`
+}
+
+type jobStatus int
+
+const (
+	jobQueued jobStatus = iota
+	jobRunning
+	jobDone
+	jobFailed
+)
+
+type jobState struct {
+	sc       Scenario
+	key      string
+	status   jobStatus
+	attempts int
+	parks    int // consecutive breaker parks
+	backoff  time.Duration
+}
+
+// Farm is the supervised scenario queue: a bounded persistent worker
+// fleet pulls jobs, runs them under a per-attempt deadline with panic
+// isolation, retries with bounded exponential backoff up to MaxAttempts,
+// and lands verified products in the content-addressed store. Failures
+// are isolated three ways: a crashing worker is replaced without
+// disturbing other in-flight jobs; repeated failures in one scenario
+// class trip that class's breaker without blocking the others; and a
+// corrupted artifact is re-queued, never served.
+type Farm struct {
+	cfg      Config
+	store    *Store
+	breakers *Breakers
+	chaos    *chaosEngine
+	sur      *Surrogate
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []string // keys, FIFO
+	jobs    map[string]*jobState
+	inflight int // queued + running + awaiting requeue
+	closed  bool
+	stats   Stats
+	pending sync.WaitGroup // delayed requeue timers
+	workers sync.WaitGroup
+}
+
+// New creates and starts a farm: Workers goroutines begin pulling
+// immediately. Close must be called to stop them.
+func New(cfg Config, store *Store, sur *Surrogate) *Farm {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 6
+	}
+	if cfg.Deadline <= 0 {
+		cfg.Deadline = 10 * time.Second
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 2 * time.Millisecond
+	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = 50 * time.Millisecond
+	}
+	if cfg.MaxParks <= 0 {
+		cfg.MaxParks = 100
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	f := &Farm{
+		cfg:      cfg,
+		store:    store,
+		breakers: NewBreakers(cfg.Breaker),
+		sur:      sur,
+		jobs:     map[string]*jobState{},
+	}
+	if cfg.Chaos != nil {
+		f.chaos = newChaosEngine(*cfg.Chaos)
+	}
+	f.cond = sync.NewCond(&f.mu)
+	for i := 0; i < cfg.Workers; i++ {
+		f.workers.Add(1)
+		go f.worker(i)
+	}
+	return f
+}
+
+// Store returns the farm's result store.
+func (f *Farm) Store() *Store { return f.store }
+
+// Surrogate returns the farm's trained surrogate (may be nil).
+func (f *Farm) Surrogate() *Surrogate { return f.sur }
+
+// Breakers returns the per-class breaker set.
+func (f *Farm) Breakers() *Breakers { return f.breakers }
+
+// Submit enqueues a scenario. Scenarios whose artifact already exists or
+// that are already queued/running are deduplicated (content addressing
+// makes re-submission idempotent). Returns the scenario key.
+func (f *Farm) Submit(sc Scenario) string {
+	key := sc.Key()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return key
+	}
+	f.stats.Submitted++
+	if js := f.jobs[key]; js != nil && js.status != jobFailed {
+		f.stats.Duplicates++
+		return key
+	}
+	if f.store.Has(key) {
+		f.jobs[key] = &jobState{sc: sc, key: key, status: jobDone}
+		f.stats.Duplicates++
+		return key
+	}
+	f.jobs[key] = &jobState{sc: sc, key: key, status: jobQueued}
+	f.enqueueLocked(key)
+	return key
+}
+
+// enqueueLocked appends to the FIFO and accounts the job in-flight.
+func (f *Farm) enqueueLocked(key string) {
+	f.queue = append(f.queue, key)
+	f.inflight++
+	f.cfg.Rec.MaxCount("farm.queue_depth_max", int64(len(f.queue)))
+	f.cond.Broadcast()
+}
+
+// requeueAfter schedules a delayed retry without holding a worker.
+func (f *Farm) requeueAfter(key string, d time.Duration) {
+	f.pending.Add(1)
+	time.AfterFunc(d, func() {
+		defer f.pending.Done()
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		if f.closed {
+			// Job abandoned at shutdown: release the in-flight slot the
+			// retry was holding.
+			f.inflight--
+			f.cond.Broadcast()
+			return
+		}
+		f.queue = append(f.queue, key)
+		f.cfg.Rec.MaxCount("farm.queue_depth_max", int64(len(f.queue)))
+		f.cond.Broadcast()
+	})
+}
+
+// worker is one fleet member. A panic inside an attempt (chaos crash or
+// a genuine solver bug) kills this goroutine; the deferred supervisor
+// spawns a replacement and requeues the job — other in-flight jobs never
+// notice.
+func (f *Farm) worker(id int) {
+	defer f.workers.Done()
+	var current string // key being attempted, for crash recovery
+	defer func() {
+		if r := recover(); r != nil {
+			f.mu.Lock()
+			f.stats.WorkerCrashes++
+			f.stats.WorkersReplaced++
+			f.cfg.Rec.AddCount("farm.worker_crashes", 1)
+			f.cfg.Logf("farm: worker %d crashed (%v); replacing", id, r)
+			key := current
+			f.mu.Unlock()
+			if key != "" {
+				f.attemptFailed(key, fmt.Errorf("worker crash: %v", r))
+			}
+			f.workers.Add(1)
+			go f.worker(id)
+		}
+	}()
+	for {
+		f.mu.Lock()
+		for len(f.queue) == 0 && !f.closed {
+			f.cond.Wait()
+		}
+		if f.closed && len(f.queue) == 0 {
+			f.mu.Unlock()
+			return
+		}
+		key := f.queue[0]
+		f.queue = f.queue[1:]
+		js := f.jobs[key]
+		if js == nil || js.status == jobDone || js.status == jobFailed {
+			// Stale requeue (e.g. audit already resolved it).
+			f.inflight--
+			f.cond.Broadcast()
+			f.mu.Unlock()
+			continue
+		}
+		class := js.sc.Class()
+		f.mu.Unlock()
+
+		// Failure isolation: a tripped class parks its jobs (delayed
+		// requeue) instead of burning attempts; other classes flow. A
+		// job parked past MaxParks fails fast so Wait terminates even
+		// if the class never heals.
+		if !f.breakers.Allow(class) {
+			f.mu.Lock()
+			f.stats.BreakerParks++
+			f.cfg.Rec.AddCount("farm.breaker_parks", 1)
+			js.parks++
+			if js.parks > f.cfg.MaxParks {
+				js.status = jobFailed
+				f.stats.Failed++
+				f.cfg.Rec.AddCount("farm.failed", 1)
+				f.cfg.Logf("farm: job %s shed after %d parks (class %s open)",
+					key, js.parks, class)
+				f.inflight--
+				f.cond.Broadcast()
+				f.mu.Unlock()
+				continue
+			}
+			d := f.cfg.RetryMax
+			f.mu.Unlock()
+			f.requeueAfter(key, d)
+			continue
+		}
+		f.mu.Lock()
+		js.parks = 0
+		f.mu.Unlock()
+
+		current = key
+		f.runAttempt(key)
+		current = ""
+	}
+}
+
+// runAttempt executes one attempt under the deadline. The compute runs in
+// an inner goroutine so a hang is abandoned (its eventual result
+// discarded) rather than blocking the worker past the deadline.
+func (f *Farm) runAttempt(key string) {
+	f.mu.Lock()
+	js := f.jobs[key]
+	if js == nil {
+		f.mu.Unlock()
+		return
+	}
+	js.status = jobRunning
+	js.attempts++
+	f.stats.Attempts++
+	f.cfg.Rec.AddCount("farm.attempts", 1)
+	sc := js.sc
+	f.mu.Unlock()
+
+	sp := f.cfg.Rec.Span(telemetry.Job)
+	defer sp.End()
+
+	// Chaos: a crash panics this worker (the supervisor replaces it); a
+	// hang stalls the compute goroutine past the deadline.
+	action, hang := f.chaos.preAttempt(key)
+	if action == chaosCrash {
+		panic("chaos: worker crash mid-job " + key)
+	}
+
+	type outcome struct {
+		p   Product
+		err error
+	}
+	done := make(chan outcome, 1) // buffered: a late result never blocks the abandoned goroutine
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				done <- outcome{err: fmt.Errorf("compute panic: %v", r)}
+			}
+		}()
+		if action == chaosHang {
+			time.Sleep(hang)
+		}
+		p, err := f.compute(sc)
+		done <- outcome{p: p, err: err}
+	}()
+
+	select {
+	case out := <-done:
+		if out.err != nil {
+			f.attemptFailed(key, out.err)
+			return
+		}
+		f.attemptSucceeded(key, out.p)
+	case <-time.After(f.cfg.Deadline):
+		f.mu.Lock()
+		f.stats.DeadlineMisses++
+		f.cfg.Rec.AddCount("farm.deadline_misses", 1)
+		f.mu.Unlock()
+		f.attemptFailed(key, fmt.Errorf("deadline %v exceeded", f.cfg.Deadline))
+	}
+}
+
+// compute runs the scenario to a product, either as a plain single-rank
+// solve or as a fault-tolerant checkpointed world.
+func (f *Farm) compute(sc Scenario) (Product, error) {
+	opt := f.cfg.Spec.Options(sc)
+	model := f.cfg.Spec.Model(sc)
+	var res *solver.Result
+	var err error
+	if f.cfg.FT != nil {
+		interval := f.cfg.FT.Interval
+		if interval <= 0 {
+			interval = 15
+		}
+		var chaos *mpi.ChaosPlan
+		if f.cfg.FT.Chaos != nil {
+			// Re-derive the seed per scenario so each world sees its own
+			// fault pattern, deterministically.
+			cp := *f.cfg.FT.Chaos
+			cp.Seed ^= int64(len(sc.Key())) // stable mix-in below
+			for _, b := range []byte(sc.Key()) {
+				cp.Seed = cp.Seed*131 + int64(b)
+			}
+			chaos = &cp
+		}
+		var stats ft.WorldStats
+		res, stats, err = ft.RunWorld(ft.WorldOptions{
+			Solver: opt, Query: model,
+			FS: pfs.New(pfs.Jaguar()), Dir: "ckpt",
+			Interval: interval, Chaos: chaos,
+			PFSFaults: f.cfg.FT.PFSFaults,
+			Logf:      f.cfg.Logf,
+		})
+		f.mu.Lock()
+		f.stats.Recoveries += stats.Recoveries
+		f.mu.Unlock()
+		f.cfg.Rec.AddCount("farm.world_recoveries", int64(stats.Recoveries))
+	} else {
+		res, err = solver.Run(model, opt)
+	}
+	if err != nil {
+		return Product{}, err
+	}
+	nx, ny := f.cfg.Spec.Dims.NX, f.cfg.Spec.Dims.NY
+	p := Product{Scenario: sc, NX: nx, NY: ny, PGVH: make([]float32, nx*ny)}
+	for i, v := range res.PGVH {
+		p.PGVH[i] = float32(v)
+		if v > p.Peak {
+			p.Peak = v
+		}
+	}
+	if !SanePGV(p) {
+		return Product{}, fmt.Errorf("farm: insane PGV for %s", sc.Key())
+	}
+	return p, nil
+}
+
+// attemptSucceeded stores the product (with read-back verification),
+// applies post-store chaos, trains the surrogate and resolves the job.
+func (f *Farm) attemptSucceeded(key string, p Product) {
+	if _, err := f.store.Put(p); err != nil {
+		f.attemptFailed(key, err)
+		return
+	}
+	// Chaos: at-rest corruption right after the store. The audit (or a
+	// serving read) catches it by CRC and re-queues.
+	if f.chaos.postStore(key) {
+		f.store.CorruptAtRest(key)
+	}
+	if f.sur != nil {
+		f.sur.Observe(p.Scenario, p.Peak)
+	}
+	f.breakers.OnSuccess(p.Scenario.Class())
+	f.mu.Lock()
+	js := f.jobs[key]
+	if js != nil && js.status != jobDone {
+		js.status = jobDone
+		f.stats.Completed++
+		f.cfg.Rec.AddCount("farm.completed", 1)
+		f.inflight--
+		f.cond.Broadcast()
+	}
+	f.mu.Unlock()
+}
+
+// attemptFailed books a failed attempt: breaker feedback, then either a
+// backoff-delayed requeue or permanent failure after MaxAttempts.
+func (f *Farm) attemptFailed(key string, cause error) {
+	f.mu.Lock()
+	js := f.jobs[key]
+	if js == nil || js.status == jobDone || js.status == jobFailed {
+		f.mu.Unlock()
+		return
+	}
+	trips0 := f.breakers.Trips()
+	f.mu.Unlock()
+
+	f.breakers.OnFailure(js.sc.Class())
+
+	f.mu.Lock()
+	if t := f.breakers.Trips(); t > trips0 {
+		f.stats.BreakerTrips = t
+		f.cfg.Rec.AddCount("farm.breaker_trips", int64(t-trips0))
+		f.cfg.Logf("farm: breaker tripped for class %s (%s)", js.sc.Class(), cause)
+	}
+	if js.attempts >= f.cfg.MaxAttempts {
+		js.status = jobFailed
+		f.stats.Failed++
+		f.cfg.Rec.AddCount("farm.failed", 1)
+		f.cfg.Logf("farm: job %s failed permanently after %d attempts: %v",
+			key, js.attempts, cause)
+		f.inflight--
+		f.cond.Broadcast()
+		f.mu.Unlock()
+		return
+	}
+	// Bounded exponential backoff, pfs.RetryPolicy semantics.
+	if js.backoff <= 0 {
+		js.backoff = f.cfg.RetryBase
+	} else {
+		js.backoff *= 2
+		if js.backoff > f.cfg.RetryMax {
+			js.backoff = f.cfg.RetryMax
+		}
+	}
+	d := js.backoff
+	js.status = jobQueued
+	f.stats.Retries++
+	f.stats.BackoffSec += d.Seconds()
+	f.cfg.Rec.AddCount("farm.retries", 1)
+	f.mu.Unlock()
+	f.requeueAfter(key, d)
+}
+
+// Wait blocks until every submitted job has resolved (done or failed).
+func (f *Farm) Wait() {
+	f.mu.Lock()
+	for f.inflight > 0 {
+		f.cond.Wait()
+	}
+	f.mu.Unlock()
+}
+
+// Audit verifies every stored artifact and re-queues the scenarios whose
+// artifacts fail CRC (at-rest corruption). It loops until an audit round
+// finds nothing (bounded by rounds), waiting for the re-runs each round.
+// Returns the number of artifacts healed.
+func (f *Farm) Audit(rounds int) int {
+	if rounds <= 0 {
+		rounds = 4
+	}
+	healed := 0
+	for r := 0; r < rounds; r++ {
+		bad := f.store.VerifyAll()
+		if len(bad) == 0 {
+			return healed
+		}
+		for _, key := range bad {
+			f.mu.Lock()
+			js := f.jobs[key]
+			if js == nil {
+				f.mu.Unlock()
+				continue
+			}
+			f.store.Delete(key)
+			f.withdrawLocked(js)
+			f.enqueueLocked(key)
+			f.mu.Unlock()
+			healed++
+		}
+		f.Wait()
+	}
+	return healed
+}
+
+// Scenario returns the submitted scenario for a key.
+func (f *Farm) Scenario(key string) (Scenario, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	js := f.jobs[key]
+	if js == nil {
+		return Scenario{}, false
+	}
+	return js.sc, true
+}
+
+// Resubmit re-queues a known scenario whose artifact was found corrupt at
+// serving time. Returns false if the key is unknown or the farm closed.
+func (f *Farm) Resubmit(key string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	js := f.jobs[key]
+	if js == nil || f.closed {
+		return false
+	}
+	if js.status == jobQueued || js.status == jobRunning {
+		return true // already on its way
+	}
+	f.store.Delete(key)
+	f.withdrawLocked(js)
+	f.enqueueLocked(key)
+	return true
+}
+
+// withdrawLocked resets a resolved job back to queued for a corruption
+// re-run, reversing its terminal accounting so Completed/Failed count
+// unique resolved jobs, not resolution events.
+func (f *Farm) withdrawLocked(js *jobState) {
+	switch js.status {
+	case jobDone:
+		f.stats.Completed--
+	case jobFailed:
+		f.stats.Failed--
+	}
+	f.stats.CorruptRequeued++
+	f.cfg.Rec.AddCount("farm.corrupt_requeued", 1)
+	js.status = jobQueued
+	js.attempts = 0
+	js.parks = 0
+	js.backoff = 0
+}
+
+// QueueDepth reports jobs waiting in the FIFO (for /status and shedding).
+func (f *Farm) QueueDepth() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.queue)
+}
+
+// Stats snapshots the counters.
+func (f *Farm) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := f.stats
+	st.Chaos = f.chaos.Stats()
+	st.BreakerTrips = f.breakers.Trips()
+	return st
+}
+
+// Close stops the fleet after the queue drains. Pending delayed requeues
+// are released. Idempotent.
+func (f *Farm) Close() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.closed = true
+	f.cond.Broadcast()
+	f.mu.Unlock()
+	f.workers.Wait()
+	f.pending.Wait()
+}

@@ -1,0 +1,152 @@
+package farm
+
+import (
+	"math"
+	"sync"
+)
+
+// Surrogate is a cheap Gaussian-RBF emulator of peak PGV over the
+// 5-dimensional scenario space, trained on completed ensemble members
+// (the mogp-style surrogate of the UQ workflow). The degraded serving
+// path answers from it when the real product is unavailable — a breaker
+// is open, the store copy is corrupt, or the service is saturated —
+// trading accuracy for availability, never erroring.
+type Surrogate struct {
+	mu    sync.Mutex
+	r     ScenarioRange
+	x     [][5]float64 // normalized training inputs
+	y     []float64    // peak PGV targets
+	w     []float64    // RBF weights
+	dirty bool
+	// Eps is the kernel width in normalized units (default 0.5); Lambda
+	// the ridge regularizer (default 1e-8).
+	Eps, Lambda float64
+}
+
+// NewSurrogate creates an empty surrogate over the ensemble's range.
+func NewSurrogate(r ScenarioRange) *Surrogate {
+	return &Surrogate{r: r, Eps: 0.5, Lambda: 1e-8}
+}
+
+func (s *Surrogate) norm(sc Scenario) [5]float64 {
+	n := func(v, lo, hi float64) float64 {
+		if hi == lo {
+			return 0
+		}
+		return (v - lo) / (hi - lo)
+	}
+	return [5]float64{
+		n(sc.Mw, s.r.Lo.Mw, s.r.Hi.Mw),
+		n(sc.HypoX, s.r.Lo.HypoX, s.r.Hi.HypoX),
+		n(sc.HypoY, s.r.Lo.HypoY, s.r.Hi.HypoY),
+		n(sc.HypoZ, s.r.Lo.HypoZ, s.r.Hi.HypoZ),
+		n(sc.VsScale, s.r.Lo.VsScale, s.r.Hi.VsScale),
+	}
+}
+
+// Observe adds a completed scenario's peak PGV as a training point.
+// Refit is lazy: the next Predict pays the solve.
+func (s *Surrogate) Observe(sc Scenario, peak float64) {
+	if math.IsNaN(peak) || math.IsInf(peak, 0) {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.x = append(s.x, s.norm(sc))
+	s.y = append(s.y, peak)
+	s.dirty = true
+}
+
+// N returns the training-set size.
+func (s *Surrogate) N() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.x)
+}
+
+func (s *Surrogate) kernel(a, b [5]float64) float64 {
+	d2 := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		d2 += d * d
+	}
+	return math.Exp(-d2 / (2 * s.Eps * s.Eps))
+}
+
+// refit solves (K + λI)w = y by Gaussian elimination with partial
+// pivoting. Caller holds the lock.
+func (s *Surrogate) refit() {
+	n := len(s.x)
+	// Build the augmented system.
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n+1)
+		for j := 0; j < n; j++ {
+			a[i][j] = s.kernel(s.x[i], s.x[j])
+		}
+		a[i][i] += s.Lambda
+		a[i][n] = s.y[i]
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		p := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[p][col]) {
+				p = r
+			}
+		}
+		a[col], a[p] = a[p], a[col]
+		piv := a[col][col]
+		if math.Abs(piv) < 1e-300 {
+			continue
+		}
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / piv
+			if f == 0 {
+				continue
+			}
+			for c := col; c <= n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+		}
+	}
+	w := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := a[i][n]
+		for j := i + 1; j < n; j++ {
+			sum -= a[i][j] * w[j]
+		}
+		if math.Abs(a[i][i]) < 1e-300 {
+			w[i] = 0
+			continue
+		}
+		w[i] = sum / a[i][i]
+	}
+	s.w = w
+	s.dirty = false
+}
+
+// Predict estimates peak PGV for a scenario. With no training data it
+// returns (0, false); callers fall back to a constant prior.
+func (s *Surrogate) Predict(sc Scenario) (float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.x) == 0 {
+		return 0, false
+	}
+	if s.dirty || s.w == nil {
+		s.refit()
+	}
+	q := s.norm(sc)
+	v := 0.0
+	for i := range s.x {
+		v += s.w[i] * s.kernel(q, s.x[i])
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, false
+	}
+	if v < 0 {
+		v = 0
+	}
+	return v, true
+}

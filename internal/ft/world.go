@@ -64,6 +64,10 @@ type WorldOptions struct {
 	// MaxRecoveries bounds coordinated recoveries before the run is
 	// declared lost (default 16).
 	MaxRecoveries int
+	// Logf routes the harness's diagnostic messages (checkpoint-interval
+	// rounding). nil means log.Printf; the ensemble farm, which runs
+	// hundreds of worlds, installs its own logger (or a no-op).
+	Logf func(format string, args ...any)
 }
 
 // WorldStats reports what the harness did and endured.
@@ -202,6 +206,9 @@ func RunWorld(o WorldOptions) (*solver.Result, WorldStats, error) {
 	if o.MaxRecoveries <= 0 {
 		o.MaxRecoveries = 16
 	}
+	if o.Logf == nil {
+		o.Logf = log.Printf
+	}
 	// Plan LTS rate clusters exactly as solver.Run would, so a
 	// checkpointed world and a failure-free Run share one decomposition
 	// (work-balanced cuts included) and stay bit-comparable.
@@ -218,7 +225,7 @@ func RunWorld(o WorldOptions) (*solver.Result, WorldStats, error) {
 	// be honored (and rollback targets must divide by the depth).
 	if T := opt.TemporalDepth; T > 1 && o.Interval%T != 0 {
 		rounded := (o.Interval/T + 1) * T
-		log.Printf("ft: checkpoint interval %d is not a multiple of TemporalDepth %d; rounding up to %d",
+		o.Logf("ft: checkpoint interval %d is not a multiple of TemporalDepth %d; rounding up to %d",
 			o.Interval, T, rounded)
 		o.Interval = rounded
 	}
@@ -240,7 +247,7 @@ func RunWorld(o WorldOptions) (*solver.Result, WorldStats, error) {
 	runErr := world.RunErr(func(c *mpi.Comm) error {
 		h := &rankHarness{
 			comm: c, world: world, coord: coord, query: o.Query, dc: dc, opt: opt,
-			fs: o.FS, dir: o.Dir, interval: o.Interval,
+			fs: o.FS, dir: o.Dir, interval: o.Interval, logf: o.Logf,
 			saved: &saved, saveErrs: &saveErrs, replayed: &replayed,
 		}
 		res, err := h.run()
@@ -282,6 +289,7 @@ type rankHarness struct {
 	fs       *pfs.FS
 	dir      string
 	interval int
+	logf     func(format string, args ...any)
 
 	saved, saveErrs, replayed *atomic.Int64
 }
@@ -385,7 +393,7 @@ func (h *rankHarness) runSegment(stp **solver.Stepper) (res *solver.Result, err 
 		if a := st.StepAlign(); a > 1 && h.interval%a != 0 {
 			rounded := (h.interval/a + 1) * a
 			if h.comm.Rank() == 0 {
-				log.Printf("ft: checkpoint interval %d is not a multiple of the step alignment %d; rounding up to %d",
+				h.logf("ft: checkpoint interval %d is not a multiple of the step alignment %d; rounding up to %d",
 					h.interval, a, rounded)
 			}
 			h.interval = rounded

@@ -78,6 +78,14 @@ const (
 	// file-view segments to the writer ranks, coalescing them into
 	// stripe-aligned extents, and issuing the aggregated writes.
 	Agg
+	// Job is one ensemble-farm worker attempt at a scenario: the solver
+	// run plus artifact encode/store, excluding queue wait and retry
+	// backoff (internal/farm).
+	Job
+	// Serve is hazard-service front-end query handling time: admission,
+	// store lookup with checksum verification, and surrogate evaluation
+	// (internal/farm server).
+	Serve
 
 	numPhases
 )
@@ -89,6 +97,7 @@ var phaseNames = [NumPhases]string{
 	"velocity", "stress", "attenuation", "boundary", "pack", "send",
 	"recv", "unpack", "sync", "output", "io", "checkpoint",
 	"queue-wait", "execute", "recovery", "interp", "collective", "agg",
+	"job", "serve",
 }
 
 func (p Phase) String() string {
@@ -176,6 +185,13 @@ type Recorder struct {
 	// Per-neighbor message counters.
 	nbrMu sync.Mutex
 	nbr   map[int]*Neighbor
+
+	// Named counters (queue depth high-water, retries, breaker trips,
+	// shed queries, ...). Process-local: they are NOT part of the gathered
+	// snapshot encoding — the ensemble farm that uses them runs its
+	// supervisor in one process.
+	cntMu sync.Mutex
+	cnt   map[string]int64
 }
 
 // NewRecorder creates a recorder for the given rank. traceEvents sets the
@@ -320,6 +336,61 @@ func (r *Recorder) Neighbors() []Neighbor {
 		for j := i; j > 0 && out[j-1].Peer > out[j].Peer; j-- {
 			out[j-1], out[j] = out[j], out[j-1]
 		}
+	}
+	return out
+}
+
+// AddCount adds n to the named counter, creating it at zero on first use.
+// Safe for concurrent use; a nil recorder discards the count.
+func (r *Recorder) AddCount(name string, n int64) {
+	if r == nil {
+		return
+	}
+	r.cntMu.Lock()
+	if r.cnt == nil {
+		r.cnt = map[string]int64{}
+	}
+	r.cnt[name] += n
+	r.cntMu.Unlock()
+}
+
+// MaxCount raises the named counter to v if v exceeds its current value —
+// the high-water-mark fold used for queue depth.
+func (r *Recorder) MaxCount(name string, v int64) {
+	if r == nil {
+		return
+	}
+	r.cntMu.Lock()
+	if r.cnt == nil {
+		r.cnt = map[string]int64{}
+	}
+	if v > r.cnt[name] {
+		r.cnt[name] = v
+	}
+	r.cntMu.Unlock()
+}
+
+// Count returns the named counter's value (0 if never touched or nil
+// recorder).
+func (r *Recorder) Count(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.cntMu.Lock()
+	defer r.cntMu.Unlock()
+	return r.cnt[name]
+}
+
+// Counts returns a copy of all named counters.
+func (r *Recorder) Counts() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.cntMu.Lock()
+	defer r.cntMu.Unlock()
+	out := make(map[string]int64, len(r.cnt))
+	for k, v := range r.cnt {
+		out[k] = v
 	}
 	return out
 }

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -24,7 +25,7 @@ func TestPhaseNames(t *testing.T) {
 			t.Fatalf("PhaseByName(%q) = %v, %v", name, got, ok)
 		}
 	}
-	if Phase(NumPhases).String() != "phase(18)" {
+	if Phase(NumPhases).String() != fmt.Sprintf("phase(%d)", NumPhases) {
 		t.Errorf("out-of-range String = %q", Phase(NumPhases).String())
 	}
 	if _, ok := PhaseByName("no-such-phase"); ok {

@@ -29,6 +29,12 @@ type Link struct {
 	BandwidthPerStream float64 // bytes/s of one GridFTP stream
 	MaxStreams         int     // parallel streams available
 	FailureRate        float64 // probability a stream transfer attempt fails
+	// RetryBackoff is the simulated-time pause before the first
+	// retransfer of a file; it doubles per consecutive retry and is
+	// capped at MaxBackoff. 0 defaults to 0.05 s.
+	RetryBackoff float64
+	// MaxBackoff caps the backoff growth. 0 defaults to 1 s.
+	MaxBackoff float64
 }
 
 // TransferStats reports one transfer job.
@@ -36,7 +42,8 @@ type TransferStats struct {
 	Files      int
 	Bytes      int
 	Retries    int
-	Elapsed    float64 // simulated seconds
+	Elapsed    float64 // simulated seconds, backoff included
+	BackoffSec float64 // simulated seconds spent backing off before retries
 	Throughput float64 // bytes/s
 	Verified   bool
 }
@@ -65,6 +72,14 @@ func (t *Transferer) Transfer(src, dst Site, paths []string, nStreams int) (Tran
 	}
 	var st TransferStats
 	st.Files = len(paths)
+	baseBackoff := t.Link.RetryBackoff
+	if baseBackoff <= 0 {
+		baseBackoff = 0.05
+	}
+	maxBackoff := t.Link.MaxBackoff
+	if maxBackoff <= 0 {
+		maxBackoff = 1.0
+	}
 	// Stream-parallel scheduling: files are assigned round-robin; each
 	// stream moves its files serially. Simulated time = slowest stream.
 	streams := make([]float64, nStreams)
@@ -81,17 +96,48 @@ func (t *Transferer) Transfer(src, dst Site, paths []string, nStreams int) (Tran
 		want := md5.Sum(data)
 		stream := idx % nStreams
 		ok := false
+		backoff := baseBackoff
 		for attempt := 0; attempt < maxAttempts; attempt++ {
+			if attempt > 0 {
+				// Bounded exponential backoff before every retransfer,
+				// accounted in simulated time on the file's stream.
+				streams[stream] += backoff
+				st.BackoffSec += backoff
+				backoff *= 2
+				if backoff > maxBackoff {
+					backoff = maxBackoff
+				}
+			}
 			streams[stream] += float64(sz) / t.Link.BandwidthPerStream
 			if t.rng.Float64() < t.Link.FailureRate {
 				st.Retries++
 				continue // failed attempt: retransfer
 			}
-			dst.FS.WriteAt(p, 0, data)
-			// End-to-end verification.
+			if err := dst.FS.WriteAt(p, 0, data); err != nil {
+				// A failed destination write is a failed attempt, not a
+				// success-until-checksum: count it and retransfer. Only
+				// transient storage faults are retryable.
+				st.Retries++
+				if !pfs.IsTransient(err) {
+					return st, err
+				}
+				continue
+			}
+			// End-to-end verification (catches torn writes that reported
+			// success and transient read hiccups). A destination file
+			// shorter than the source is the truncated-artifact face of a
+			// torn write — a failed attempt, not a fatal error.
+			if dst.FS.Size(p) < sz {
+				st.Retries++
+				continue
+			}
 			got := make([]byte, sz)
 			if err := dst.FS.ReadAt(p, 0, got); err != nil {
-				return st, err
+				st.Retries++
+				if !pfs.IsTransient(err) {
+					return st, err
+				}
+				continue
 			}
 			if md5.Sum(got) != want {
 				st.Retries++
@@ -181,9 +227,17 @@ func (r *Registry) Ingest(site Site, paths []string, nWorkers int, perStreamBand
 	}
 	wg.Wait()
 	close(results)
+	// Drain every worker result before surfacing the first error: the
+	// successfully checksummed files stay registered (they are verified
+	// facts about the site), no queued result is abandoned on the buffered
+	// channel, and the caller still learns the ingest was incomplete.
+	var firstErr error
 	for res := range results {
 		if res.err != nil {
-			return 0, res.err
+			if firstErr == nil {
+				firstErr = res.err
+			}
+			continue
 		}
 		r.mu.Lock()
 		if e := r.entries[res.entry.Path]; e != nil {
@@ -193,6 +247,9 @@ func (r *Registry) Ingest(site Site, paths []string, nWorkers int, perStreamBand
 		}
 		r.mu.Unlock()
 	}
+	if firstErr != nil {
+		return 0, firstErr
+	}
 	elapsed := 0.0
 	for _, t := range workerTime {
 		if t > elapsed {
@@ -200,6 +257,36 @@ func (r *Registry) Ingest(site Site, paths []string, nWorkers int, perStreamBand
 		}
 	}
 	return elapsed, nil
+}
+
+// Register catalogues a single file present at a site, computing its
+// checksum synchronously — the artifact-store path of the ensemble farm,
+// which registers each completed scenario product as it lands rather than
+// batch-ingesting a directory.
+func (r *Registry) Register(site Site, path string) (Entry, error) {
+	sz := site.FS.Size(path)
+	if sz < 0 {
+		return Entry{}, fmt.Errorf("workflow: %s missing at %s", path, site.Name)
+	}
+	data := make([]byte, sz)
+	if err := site.FS.ReadAt(path, 0, data); err != nil {
+		return Entry{}, err
+	}
+	sum := md5.Sum(data)
+	entry := &Entry{
+		Path: path, Checksum: hex.EncodeToString(sum[:]), Bytes: sz,
+		Replicas: []string{site.Name},
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e := r.entries[path]; e != nil {
+		e.Checksum = entry.Checksum
+		e.Bytes = entry.Bytes
+		e.Replicas = mergeReplicas(e.Replicas, entry.Replicas)
+		return *e, nil
+	}
+	r.entries[path] = entry
+	return *entry, nil
 }
 
 func mergeReplicas(a, b []string) []string {
